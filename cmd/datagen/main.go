@@ -1,0 +1,66 @@
+// Command datagen generates the benchmark inputs of Table I as real files
+// on disk — useful for inspecting what the simulated workloads look like
+// or for feeding mvmrun.
+//
+// Usage:
+//
+//	datagen -app pagerank -scale 0.004 -shards 4 -o /tmp/pr
+//	datagen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"morpheus/internal/apps"
+	"morpheus/internal/units"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "application name (see -list)")
+		scale   = flag.Float64("scale", 1.0/256, "fraction of the Table I input size")
+		shards  = flag.Int("shards", 0, "number of shards (default: the app's thread count)")
+		outDir  = flag.String("o", ".", "output directory")
+		seed    = flag.Int64("seed", 20160618, "generator seed")
+		list    = flag.Bool("list", false, "list applications")
+	)
+	flag.Parse()
+	if *list {
+		for _, a := range apps.All() {
+			fmt.Printf("  %-11s %-13s %-5s paper input %v, %d I/O threads\n",
+				a.Name, a.Suite, a.Parallel, a.PaperInputSize, a.Threads)
+		}
+		return
+	}
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	n := *shards
+	if n <= 0 {
+		n = app.Threads
+	}
+	target := units.Bytes(float64(app.PaperInputSize) * *scale)
+	data := app.Gen(target, n, *seed)
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	var total units.Bytes
+	for i, sh := range data {
+		path := filepath.Join(*outDir, fmt.Sprintf("%s.shard%d.txt", app.Name, i))
+		if err := os.WriteFile(path, sh, 0o644); err != nil {
+			fatal(err)
+		}
+		total += units.Bytes(len(sh))
+		fmt.Printf("wrote %s (%v)\n", path, units.Bytes(len(sh)))
+	}
+	fmt.Printf("%s: %v total across %d shards (target %v)\n", app.Name, total, n, target)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command morphc compiles MorphC StorageApp source into an MVM device
+// image, playing the device-side half of the paper's §V-B compiler.
+//
+// Usage:
+//
+//	morphc -o app.mvm app.mc          # compile to a binary image
+//	morphc -S app.mc                  # print the assembly instead
+//	morphc -entry inputapplet app.mc  # pick one of several StorageApps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"morpheus/internal/morphc"
+	"morpheus/internal/mvm"
+)
+
+func main() {
+	var (
+		out   = flag.String("o", "", "output image path (default: <src>.mvm)")
+		asm   = flag.Bool("S", false, "emit MVM assembly on stdout instead of an image")
+		entry = flag.String("entry", "", "StorageApp entry point when the source declares several")
+		opt   = flag.Int("O", 1, "optimization level (0 = naive stack code, 1 = fold/peephole/DCE)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: morphc [-S] [-o out.mvm] [-entry name] <source.mc>")
+		os.Exit(2)
+	}
+	srcPath := flag.Arg(0)
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		fatal(err)
+	}
+	level := morphc.O1
+	if *opt <= 0 {
+		level = morphc.O0
+	}
+	prog, err := morphc.CompileWithOptions(string(src), *entry, level)
+	if err != nil {
+		fatal(err)
+	}
+	if *asm {
+		fmt.Print(mvm.Disassemble(prog))
+		return
+	}
+	img, err := prog.MarshalBinary()
+	if err != nil {
+		fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = srcPath + ".mvm"
+	}
+	if err := os.WriteFile(dst, img, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: StorageApp %q, %d instructions, %d bytes of image, %d D-SRAM bytes static\n",
+		dst, prog.Name, len(prog.Code), len(img), prog.SRAMStatic)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "morphc: %v\n", err)
+	os.Exit(1)
+}

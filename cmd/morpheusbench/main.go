@@ -1,0 +1,190 @@
+// Command morpheusbench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	morpheusbench -exp all                 # everything
+//	morpheusbench -exp fig8               # one experiment
+//	morpheusbench -exp endtoend -scale 0.01 -seed 7
+//	morpheusbench -list                   # show the experiment index
+//
+// Experiments: table1, fig2, fig3, profile, fig8, fig9, fig10, traffic,
+// endtoend, slowhost, multiprog, serialize, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"morpheus/internal/exp"
+)
+
+type experiment struct {
+	name  string
+	paper string
+	run   func(exp.Options) ([]*exp.Table, error)
+}
+
+func experiments() []experiment {
+	one := func(f func(exp.Options) (*exp.Table, error)) func(exp.Options) ([]*exp.Table, error) {
+		return func(o exp.Options) ([]*exp.Table, error) {
+			t, err := f(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*exp.Table{t}, nil
+		}
+	}
+	return []experiment{
+		{"table1", "Table I — benchmark applications and inputs", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunTable1(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"fig2", "Figure 2 — baseline execution-time breakdown", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunFig2(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"fig3", "Figure 3 — effective bandwidth vs storage device and CPU frequency", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunFig3(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"profile", "§II — parse-cost profile (conversion vs OS overhead)", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunProfile(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"fig8", "Figure 8 — deserialization speedup with Morpheus-SSD", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunFig8(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"fig9", "Figure 9 — normalized power and energy", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunFig9(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"fig10", "Figure 10 — context switches", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunFig10(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"traffic", "§VII-A — PCIe and memory-bus traffic", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunTraffic(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"endtoend", "§VII-B — end-to-end speedups (incl. NVMe-P2P)", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunEndToEnd(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"slowhost", "slower-server sensitivity (1.2 GHz host)", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunSlowHost(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"multiprog", "multiprogrammed environment (E12, extension of §III)", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunMultiprog(o, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"serialize", "MWRITE serialization (E13, extension)", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunSerialize(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"ablation", "design-choice ablations (DESIGN.md §4)", func(o exp.Options) ([]*exp.Table, error) {
+			r, err := exp.RunAblation(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Tables(), nil
+		}},
+	}
+}
+
+func main() {
+	var (
+		which  = flag.String("exp", "all", "experiment to run (or 'all')")
+		scale  = flag.Float64("scale", 1.0/256, "input size as a fraction of the Table I sizes")
+		seed   = flag.Int64("seed", 20160618, "workload generator seed")
+		list   = flag.Bool("list", false, "list available experiments")
+		format = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("  %-10s %s\n", e.name, e.paper)
+		}
+		return
+	}
+	opts := exp.DefaultOptions()
+	opts.Scale = *scale
+	opts.Seed = *seed
+
+	run := func(e experiment) {
+		fmt.Printf("running %s (%s)...\n", e.name, e.paper)
+		tables, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "morpheusbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *format == "csv" {
+				t.WriteCSV(os.Stdout)
+			} else {
+				t.Render(os.Stdout)
+			}
+		}
+	}
+	if *which == "all" {
+		for _, e := range exps {
+			run(e)
+		}
+		return
+	}
+	for _, name := range strings.Split(*which, ",") {
+		found := false
+		for _, e := range exps {
+			if e.name == name {
+				run(e)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "morpheusbench: unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+	}
+}

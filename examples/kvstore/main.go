@@ -1,0 +1,85 @@
+// Flash-backed key-value lookups: the paper's §IX generality claim —
+// "emitting key-value pairs from [a] flash-based key-value store" — as a
+// StorageApp. A text table of "key value" records lives on flash; the
+// device function scans it and emits only the pairs inside a key range
+// passed as MINIT host arguments, so a point/range query ships back a few
+// bytes instead of the whole table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"morpheus/internal/core"
+	"morpheus/internal/serial"
+	"morpheus/internal/workload"
+)
+
+// rangeQuery emits (key, value) as int64 pairs for lo <= key < hi.
+const rangeQuery = `
+StorageApp int range_query(ms_stream s, int lo, int hi) {
+	int k;
+	int v;
+	int hits = 0;
+	while (ms_scanf(s, "%d", &k) == 1) {
+		ms_scanf(s, "%d", &v);
+		if (k >= lo && k < hi) {
+			ms_emit_i64(k);
+			ms_emit_i64(v);
+			hits++;
+		}
+	}
+	ms_memcpy();
+	return hits;
+}
+`
+
+func main() {
+	cfg := core.DefaultSystemConfig()
+	cfg.WithGPU = false
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A ~1 MiB table: "key value" per line, keys 8-digit (IDBase offset).
+	table := workload.EdgeList(60_000, 60_000, 1, 17)[0]
+	file, err := sys.WriteFile("kv.tbl", table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.ResetTimers()
+
+	lo := int64(workload.IDBase + 1000)
+	hi := int64(workload.IDBase + 1100)
+	app := &core.StorageApp{Name: "range_query", Source: rangeQuery}
+	res, err := sys.InvokeStorageApp(0, core.InvokeOptions{
+		App:  app,
+		File: file,
+		Args: []int64{lo, hi},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := serial.DecodeI64(res.Out)
+	fmt.Printf("table: %v of text on flash (60000 records)\n", file.Size)
+	fmt.Printf("range query [%d, %d): %d hits (MDEINIT returned %d)\n",
+		lo, hi, len(pairs)/2, res.RetVal)
+	fmt.Printf("bytes shipped to the host: %d (vs %v for a conventional full-table read)\n",
+		len(res.Out), file.Size)
+	fmt.Printf("device time: %v over %d NVMe commands\n", res.Done, res.Commands)
+	show := len(pairs) / 2
+	if show > 5 {
+		show = 5
+	}
+	for i := 0; i < show; i++ {
+		fmt.Printf("  %d -> %d\n", pairs[2*i], pairs[2*i+1])
+	}
+	// Verify on the host side.
+	for i := 0; i < len(pairs); i += 2 {
+		if pairs[i] < lo || pairs[i] >= hi {
+			log.Fatalf("query leaked key %d", pairs[i])
+		}
+	}
+	fmt.Println("all returned keys verified inside the range")
+}

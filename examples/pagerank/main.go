@@ -1,0 +1,105 @@
+// PageRank: the BigDataBench MPI workload end to end. Four I/O threads
+// deserialize an edge list (conventionally, then via Morpheus-SSD), and a
+// real PageRank iteration runs over the deserialized edges — showing that
+// the objects coming back from the SSD are genuinely usable data, not just
+// timed bytes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"morpheus/internal/apps"
+	"morpheus/internal/core"
+	"morpheus/internal/serial"
+	"morpheus/internal/workload"
+)
+
+func main() {
+	app, err := apps.ByName("pagerank")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runMode := func(mode apps.Mode) *apps.Report {
+		cfg := core.DefaultSystemConfig()
+		cfg.WithGPU = false
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		files, _, err := apps.Stage(sys, app, 1.0/512, 7) // ~7 MiB of edges
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.ResetTimers()
+		rep, err := apps.Run(sys, app, files, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+
+	base := runMode(apps.ModeBaseline)
+	morph := runMode(apps.ModeMorpheus)
+	if err := apps.VerifyObjects(base, morph); err != nil {
+		log.Fatal(err)
+	}
+
+	// The deserialized objects are int64 node ids, alternating u,v per
+	// edge. Run three real PageRank iterations over them.
+	var edges [][2]int64
+	for _, out := range morph.Objects {
+		ids := serial.DecodeI64(out)
+		for i := 0; i+1 < len(ids); i += 2 {
+			edges = append(edges, [2]int64{ids[i] - workload.IDBase, ids[i+1] - workload.IDBase})
+		}
+	}
+	maxNode := int64(0)
+	for _, e := range edges {
+		if e[0] > maxNode {
+			maxNode = e[0]
+		}
+		if e[1] > maxNode {
+			maxNode = e[1]
+		}
+	}
+	n := maxNode + 1
+	rank := make([]float64, n)
+	outDeg := make([]int, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for _, e := range edges {
+		outDeg[e[0]]++
+	}
+	const damping = 0.85
+	for iter := 0; iter < 3; iter++ {
+		next := make([]float64, n)
+		for _, e := range edges {
+			if outDeg[e[0]] > 0 {
+				next[e[1]] += rank[e[0]] / float64(outDeg[e[0]])
+			}
+		}
+		for i := range next {
+			next[i] = (1-damping)/float64(n) + damping*next[i]
+		}
+		rank = next
+	}
+	best, bestRank := int64(0), 0.0
+	for i, r := range rank {
+		if r > bestRank {
+			best, bestRank = int64(i), r
+		}
+	}
+
+	fmt.Printf("edges deserialized:  %d (%v of text)\n", len(edges), base.RawBytes)
+	fmt.Printf("conventional:        deser %v  total %v  (deser = %.0f%%)\n",
+		base.Deser, base.Total, 100*base.DeserFraction())
+	fmt.Printf("morpheus-ssd:        deser %v  total %v\n", morph.Deser, morph.Total)
+	fmt.Printf("deser speedup %.2fx, end-to-end speedup %.2fx\n",
+		float64(base.Deser)/float64(morph.Deser), float64(base.Total)/float64(morph.Total))
+	fmt.Printf("context switches during deserialization: %d → %d\n",
+		base.DeserCtxSwitches, morph.DeserCtxSwitches)
+	fmt.Printf("pagerank(3 iters): top node %d with rank %.6f over %d nodes\n", best, bestRank, n)
+}

@@ -1,0 +1,3 @@
+module morpheus
+
+go 1.22

@@ -1,0 +1,323 @@
+// Package apps implements the ten benchmark applications of Table I:
+// PageRank and Grep from BigDataBench (MPI), BFS, Gaussian, HybridSort,
+// Kmeans, LUD and NN from Rodinia (CUDA), SpMV, plus WordCount standing in
+// for the Table I row lost to OCR in the supplied paper text (flagged in
+// DESIGN.md). Each application has a text-deserialization phase — a
+// MorphC StorageApp and the bit-identical host parser — and a calibrated
+// computation kernel (CPU/MPI or GPU/CUDA cost model).
+package apps
+
+import (
+	"fmt"
+
+	"morpheus/internal/core"
+	"morpheus/internal/serial"
+	"morpheus/internal/ssd"
+	"morpheus/internal/units"
+	"morpheus/internal/workload"
+)
+
+// App describes one benchmark application.
+type App struct {
+	Name     string
+	Suite    string // "BigDataBench", "Rodinia", "N/A"
+	Parallel string // "MPI", "CUDA", "N/A"
+	// PaperInputSize is the Table I input size; Gen scales it.
+	PaperInputSize units.Bytes
+	// Threads is the number of I/O (and MPI rank) threads.
+	Threads int
+	// UsesGPU marks CUDA applications.
+	UsesGPU bool
+
+	// Fields is the record token layout (for documentation and float
+	// fraction computation).
+	Fields []serial.FieldKind
+
+	// StorageSrc/Entry is the MorphC StorageApp replacing the host
+	// deserialization code.
+	StorageSrc string
+	Entry      string
+
+	// Spec is the host parse-cost parameterization: the float-text byte
+	// fraction and this application's OS-overhead factor.
+	Spec core.ParseSpec
+
+	// KernelInstrPerObjByte calibrates the computation kernel (dynamic
+	// instructions per object byte; executed on the GPU for CUDA apps,
+	// spread across Threads CPU cores otherwise).
+	KernelInstrPerObjByte float64
+	// OtherCPUInstrPerObjByte calibrates the residual host work (result
+	// collection, setup) present in every bar of Figure 2.
+	OtherCPUInstrPerObjByte float64
+
+	// Gen produces the input shards for a target total size.
+	Gen func(target units.Bytes, shards int, seed int64) workload.Shards
+}
+
+// storageApp builds the core.StorageApp (compiled MorphC + native
+// continuation) for this application.
+func (a *App) StorageApp() *core.StorageApp {
+	fields := a.Fields
+	return &core.StorageApp{
+		Name:       a.Name,
+		Source:     a.StorageSrc,
+		EntryPoint: a.Entry,
+		NativeFactory: func() ssd.NativeFunc {
+			if len(fields) == 1 {
+				p := serial.TokenParser{Kind: fields[0]}
+				return func(chunk []byte, final bool, args []int64) []byte {
+					return p.Parse(chunk, final)
+				}
+			}
+			p := serial.RecordParser{Fields: fields}
+			return func(chunk []byte, final bool, args []int64) []byte {
+				return p.Parse(chunk, final)
+			}
+		},
+	}
+}
+
+// HostParser builds the conventional-path deserializer (same output bytes
+// as the StorageApp).
+func (a *App) HostParser() core.HostParser {
+	if len(a.Fields) == 1 {
+		p := serial.TokenParser{Kind: a.Fields[0]}
+		return func(chunk []byte, final bool) []byte { return p.Parse(chunk, final) }
+	}
+	p := serial.RecordParser{Fields: a.Fields}
+	return func(chunk []byte, final bool) []byte { return p.Parse(chunk, final) }
+}
+
+// deserIntSrc is the Figure 7 StorageApp: ASCII integer tokens to a
+// binary int32 array. The paper's StorageApps "create exactly the same
+// data structures that the computational aspects of these applications
+// consume" — so applications whose kernels hold 32-bit elements use this
+// variant.
+const deserIntSrc = `
+// inputapplet deserializes ASCII integer tokens into an int32 array,
+// transliterated from Figure 7 of the paper.
+StorageApp int inputapplet(ms_stream stream) {
+	int v;
+	int count = 0;
+	while (ms_scanf(stream, "%d", &v) == 1) {
+		ms_emit_i32(v);
+		count = count + 1;
+	}
+	ms_memcpy();
+	return count;
+}
+`
+
+// deserInt64Src is the 64-bit variant for applications whose kernels
+// consume long/size_t-sized elements (the BigDataBench MPI codes and the
+// double-ready matrix kernels).
+const deserInt64Src = `
+// inputapplet64 deserializes ASCII integer tokens into an int64 array.
+StorageApp int inputapplet64(ms_stream stream) {
+	int v;
+	int count = 0;
+	while (ms_scanf(stream, "%d", &v) == 1) {
+		ms_emit_i64(v);
+		count = count + 1;
+	}
+	ms_memcpy();
+	return count;
+}
+`
+
+// deserTripleSrc is the SpMV StorageApp: "row col value" records where
+// value is floating-point text — the case the missing FPU hurts.
+const deserTripleSrc = `
+// spmvapplet deserializes sparse-matrix triples; the %f scan runs on
+// software-emulated floating point (no FPU on the embedded cores).
+StorageApp int spmvapplet(ms_stream stream) {
+	int r;
+	int c;
+	float v;
+	int n = 0;
+	while (ms_scanf(stream, "%d", &r) == 1) {
+		ms_scanf(stream, "%d", &c);
+		ms_scanf(stream, "%f", &v);
+		ms_emit_i32(r);
+		ms_emit_i32(c);
+		ms_emit_f32(v);
+		n = n + 1;
+	}
+	ms_memcpy();
+	return n;
+}
+`
+
+func intFields() []serial.FieldKind   { return []serial.FieldKind{serial.FieldInt32} }
+func int64Fields() []serial.FieldKind { return []serial.FieldKind{serial.FieldInt64} }
+
+// All returns the benchmark suite in Table I order. The OSFactor spread
+// reflects the per-application file-access patterns (many small buffered
+// reads in Grep/WordCount vs large streaming reads in LUD/Gaussian); the
+// kernel constants are calibrated so the baseline execution-time profile
+// reproduces Figure 2 (deserialization ≈ 64% of execution on average).
+func All() []*App {
+	return []*App{
+		{
+			Name: "pagerank", Suite: "BigDataBench", Parallel: "MPI",
+			PaperInputSize:          3686 * units.MiB,
+			Threads:                 4,
+			Fields:                  int64Fields(),
+			StorageSrc:              deserInt64Src,
+			Spec:                    core.ParseSpec{OSFactor: 9.0},
+			KernelInstrPerObjByte:   16.8,
+			OtherCPUInstrPerObjByte: 1,
+			Gen: func(target units.Bytes, shards int, seed int64) workload.Shards {
+				edges := int64(target) / 18 // "u v\n" with 8-digit ids is 18 bytes
+				return workload.EdgeList(edges/8+2, edges, shards, seed)
+			},
+		},
+		{
+			Name: "grep", Suite: "BigDataBench", Parallel: "MPI",
+			PaperInputSize:          620 * units.MiB,
+			Threads:                 4,
+			Fields:                  int64Fields(),
+			StorageSrc:              deserInt64Src,
+			Spec:                    core.ParseSpec{OSFactor: 12.8},
+			KernelInstrPerObjByte:   8.3,
+			OtherCPUInstrPerObjByte: 0.5,
+			Gen: func(target units.Bytes, shards int, seed int64) workload.Shards {
+				tokens := int64(target) / 9
+				return workload.DictionaryText(tokens, 200000, 16, shards, seed)
+			},
+		},
+		{
+			Name: "wordcount", Suite: "BigDataBench", Parallel: "MPI",
+			PaperInputSize:          1 * units.GiB,
+			Threads:                 4,
+			Fields:                  int64Fields(),
+			StorageSrc:              deserInt64Src,
+			Spec:                    core.ParseSpec{OSFactor: 10.6},
+			KernelInstrPerObjByte:   11.3,
+			OtherCPUInstrPerObjByte: 0.75,
+			Gen: func(target units.Bytes, shards int, seed int64) workload.Shards {
+				tokens := int64(target) / 9
+				return workload.DictionaryText(tokens, 500000, 12, shards, seed+1)
+			},
+		},
+		{
+			Name: "bfs", Suite: "Rodinia", Parallel: "CUDA",
+			PaperInputSize: 2591 * units.MiB,
+			Threads:        1, UsesGPU: true,
+			Fields:                  intFields(),
+			StorageSrc:              deserIntSrc,
+			Spec:                    core.ParseSpec{OSFactor: 8.7},
+			KernelInstrPerObjByte:   5720,
+			OtherCPUInstrPerObjByte: 4,
+			Gen: func(target units.Bytes, shards int, seed int64) workload.Shards {
+				edges := int64(target) / 18
+				return workload.EdgeList(edges/10+2, edges, shards, seed+2)
+			},
+		},
+		{
+			Name: "gaussian", Suite: "Rodinia", Parallel: "CUDA",
+			PaperInputSize: 1597 * units.MiB,
+			Threads:        1, UsesGPU: true,
+			Fields:                  int64Fields(),
+			StorageSrc:              deserInt64Src,
+			Spec:                    core.ParseSpec{OSFactor: 7.3},
+			KernelInstrPerObjByte:   3725,
+			OtherCPUInstrPerObjByte: 1.5,
+			Gen: func(target units.Bytes, shards int, seed int64) workload.Shards {
+				cols := int64(2048)
+				rows := int64(target) / (cols * 10)
+				if rows < 4 {
+					rows = 4
+				}
+				return workload.DenseMatrix(rows, cols, 99999999, shards, seed+3)
+			},
+		},
+		{
+			Name: "hybridsort", Suite: "Rodinia", Parallel: "CUDA",
+			PaperInputSize: 3215 * units.MiB,
+			Threads:        1, UsesGPU: true,
+			Fields:                  int64Fields(),
+			StorageSrc:              deserInt64Src,
+			Spec:                    core.ParseSpec{OSFactor: 10.9},
+			KernelInstrPerObjByte:   2820,
+			OtherCPUInstrPerObjByte: 1,
+			Gen: func(target units.Bytes, shards int, seed int64) workload.Shards {
+				n := int64(target) / 11
+				return workload.IntArray(n, 1<<30, 8, shards, seed+4)
+			},
+		},
+		{
+			Name: "kmeans", Suite: "Rodinia", Parallel: "CUDA",
+			PaperInputSize: 1331 * units.MiB,
+			Threads:        1, UsesGPU: true,
+			Fields:                  int64Fields(),
+			StorageSrc:              deserInt64Src,
+			Spec:                    core.ParseSpec{OSFactor: 8.1},
+			KernelInstrPerObjByte:   5050,
+			OtherCPUInstrPerObjByte: 1.5,
+			Gen: func(target units.Bytes, shards int, seed int64) workload.Shards {
+				dim := 16
+				points := int64(target) / int64(dim*10)
+				return workload.Points(points, dim, 99999999, shards, seed+5)
+			},
+		},
+		{
+			Name: "lud", Suite: "Rodinia", Parallel: "CUDA",
+			PaperInputSize: 2478 * units.MiB,
+			Threads:        1, UsesGPU: true,
+			Fields:                  int64Fields(),
+			StorageSrc:              deserInt64Src,
+			Spec:                    core.ParseSpec{OSFactor: 7.0},
+			KernelInstrPerObjByte:   4145,
+			OtherCPUInstrPerObjByte: 1.5,
+			Gen: func(target units.Bytes, shards int, seed int64) workload.Shards {
+				cols := int64(1024)
+				rows := int64(target) / (cols * 10)
+				if rows < 4 {
+					rows = 4
+				}
+				return workload.DenseMatrix(rows, cols, 99999999, shards, seed+6)
+			},
+		},
+		{
+			Name: "nn", Suite: "Rodinia", Parallel: "CUDA",
+			PaperInputSize: 1679 * units.MiB,
+			Threads:        1, UsesGPU: true,
+			Fields:                  int64Fields(),
+			StorageSrc:              deserInt64Src,
+			Spec:                    core.ParseSpec{OSFactor: 9.6},
+			KernelInstrPerObjByte:   1740,
+			OtherCPUInstrPerObjByte: 1,
+			Gen: func(target units.Bytes, shards int, seed int64) workload.Shards {
+				dim := 4
+				points := int64(target) / int64(dim*10)
+				return workload.Points(points, dim, 99999999, shards, seed+7)
+			},
+		},
+		{
+			Name: "spmv", Suite: "N/A", Parallel: "N/A",
+			PaperInputSize: 110 * units.MiB,
+			Threads:        1,
+			Fields:         []serial.FieldKind{serial.FieldInt32, serial.FieldInt32, serial.FieldFloat32},
+			StorageSrc:     deserTripleSrc,
+			// 33% of tokens are floats; by bytes, float text dominates.
+			Spec:                    core.ParseSpec{FloatFrac: 0.35, OSFactor: 8.6},
+			KernelInstrPerObjByte:   40,
+			OtherCPUInstrPerObjByte: 2,
+			Gen: func(target units.Bytes, shards int, seed int64) workload.Shards {
+				nnz := int64(target) / 28
+				return workload.SparseTriples(nnz/16+4, nnz/16+4, nnz, shards, seed+8)
+			},
+		},
+	}
+}
+
+// ByName returns one application from the suite.
+func ByName(name string) (*App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}

@@ -1,0 +1,79 @@
+package apps
+
+import (
+	"testing"
+
+	"morpheus/internal/units"
+)
+
+// TestRunnerInvariantsAcrossSuite sweeps every application in every
+// applicable mode at micro scale and checks the structural invariants
+// every experiment relies on: phases are non-negative and sum to the
+// total, byte accounting is consistent, deserialization produces output,
+// and the two Morpheus modes deliver identical objects.
+func TestRunnerInvariantsAcrossSuite(t *testing.T) {
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			modes := []Mode{ModeBaseline, ModeMorpheus}
+			if app.UsesGPU {
+				modes = append(modes, ModeMorpheusP2P)
+			}
+			var morphRep *Report
+			for _, mode := range modes {
+				sys := newSystem(t, app.UsesGPU, nil)
+				files, shards, err := Stage(sys, app, testScale, 77)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.ResetTimers()
+				rep, err := Run(sys, app, files, mode)
+				if err != nil {
+					t.Fatalf("%v: %v", mode, err)
+				}
+				if rep.Deser <= 0 || rep.Total <= 0 {
+					t.Fatalf("%v: empty phases: %+v", mode, rep)
+				}
+				if rep.OtherCPU < 0 || rep.GPUCopy < 0 || rep.GPUKernel < 0 {
+					t.Fatalf("%v: negative phase", mode)
+				}
+				if sum := rep.Deser + rep.OtherCPU + rep.GPUCopy + rep.GPUKernel; sum != rep.Total {
+					t.Fatalf("%v: phases %v != total %v", mode, sum, rep.Total)
+				}
+				if rep.RawBytes != shards.TotalSize() {
+					t.Fatalf("%v: raw bytes %v != staged %v", mode, rep.RawBytes, shards.TotalSize())
+				}
+				if rep.ObjBytes == 0 {
+					t.Fatalf("%v: no objects produced", mode)
+				}
+				var objTotal units.Bytes
+				for _, o := range rep.Objects {
+					objTotal += units.Bytes(len(o))
+				}
+				if objTotal != rep.ObjBytes {
+					t.Fatalf("%v: object accounting %v != %v", mode, objTotal, rep.ObjBytes)
+				}
+				if !app.UsesGPU && (rep.GPUCopy != 0 || mode == ModeBaseline && rep.GPUKernel == 0) {
+					// CPU apps: no copy phase; the "kernel" runs on the CPU.
+					if rep.GPUCopy != 0 {
+						t.Fatalf("%v: CPU app has a GPU copy phase", mode)
+					}
+				}
+				if mode == ModeMorpheus {
+					morphRep = rep
+					if rep.CyclesPerByte <= 0 {
+						t.Fatalf("morpheus run lost its cycles/byte measurement")
+					}
+				}
+				if mode == ModeMorpheusP2P {
+					if err := VerifyObjects(morphRep, rep); err != nil {
+						t.Fatalf("P2P objects differ from host-DRAM objects: %v", err)
+					}
+					if rep.GPUCopy != 0 {
+						t.Fatal("P2P mode must have no GPU copy phase")
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordAlignerBasics(t *testing.T) {
+	a := &recordAligner{}
+	// Mid-record cut carries the tail.
+	out := a.align([]byte("1 2\n3 "), false)
+	if string(out) != "1 2\n" {
+		t.Fatalf("first chunk = %q", out)
+	}
+	out = a.align([]byte("4\n"), false)
+	if string(out) != "3 4\n" {
+		t.Fatalf("second chunk = %q", out)
+	}
+	// No newline at all: everything carried.
+	out = a.align([]byte("567"), false)
+	if out != nil {
+		t.Fatalf("carry-only chunk returned %q", out)
+	}
+	// Final flushes the carry even without a trailing newline.
+	out = a.align([]byte("8"), true)
+	if string(out) != "5678" {
+		t.Fatalf("final chunk = %q", out)
+	}
+}
+
+// TestRecordAlignerLosslessProperty: for any input and any chunking, the
+// concatenation of aligned outputs is exactly the input, and every
+// non-final output ends at a record boundary.
+func TestRecordAlignerLosslessProperty(t *testing.T) {
+	f := func(data []byte, cuts []uint8) bool {
+		a := &recordAligner{}
+		var rebuilt []byte
+		pos := 0
+		for _, c := range cuts {
+			if pos >= len(data) {
+				break
+			}
+			end := pos + 1 + int(c)%64
+			if end > len(data) {
+				end = len(data)
+			}
+			out := a.align(data[pos:end], false)
+			if len(out) > 0 && out[len(out)-1] != '\n' {
+				return false // non-final output must end on a record boundary
+			}
+			rebuilt = append(rebuilt, out...)
+			pos = end
+		}
+		rebuilt = append(rebuilt, a.align(data[pos:], true)...)
+		return bytes.Equal(rebuilt, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

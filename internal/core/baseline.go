@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+
+	"morpheus/internal/host"
+	"morpheus/internal/nvme"
+	"morpheus/internal/ssd"
+	"morpheus/internal/units"
+)
+
+// HostParser is the conventional-path deserializer running on the host
+// CPU: it receives record-aligned chunks of raw file bytes and returns the
+// binary object bytes, exactly mirroring the StorageApp's output so the
+// two paths are bit-comparable. Implementations may be stateful closures.
+type HostParser func(chunk []byte, final bool) []byte
+
+// ParseSpec carries the per-application parameters of the host parse cost
+// model (§II): the float-text fraction of the input and the application's
+// OS-overhead factor (how much file-system/locking/POSIX work inflates the
+// conversion loop; the paper's average is 6.6x, with per-app spread).
+type ParseSpec struct {
+	FloatFrac float64
+	// OSFactor overrides ParseCosts.OSOverheadFactor when > 0.
+	OSFactor float64
+	// ObjPerInByte is the expected object-to-input byte ratio, used only
+	// for memory-pressure accounting estimates.
+	ObjPerInByte float64
+}
+
+// cyclesPerByte resolves the full conventional-path cost.
+func (sp ParseSpec) cyclesPerByte(pc host.ParseCosts) float64 {
+	if sp.OSFactor > 0 {
+		pc.OSOverheadFactor = sp.OSFactor
+	}
+	return pc.CyclesPerInputByte(sp.FloatFrac)
+}
+
+// DeserResult reports one conventional deserialization run.
+type DeserResult struct {
+	Out      []byte
+	Done     units.Time
+	RawBytes units.Bytes
+	Commands int
+}
+
+// recordAligner cuts a byte stream at newline boundaries, carrying partial
+// trailing records, so chunk-structured parsers see whole records.
+type recordAligner struct{ carry []byte }
+
+func (r *recordAligner) align(chunk []byte, final bool) []byte {
+	buf := append(r.carry, chunk...)
+	r.carry = nil
+	if final {
+		return buf
+	}
+	i := len(buf) - 1
+	for i >= 0 && buf[i] != '\n' {
+		i--
+	}
+	if i < 0 {
+		r.carry = buf
+		return nil
+	}
+	r.carry = append([]byte(nil), buf[i+1:]...)
+	return buf[:i+1]
+}
+
+// timesliceQuantum is the scheduler quantum charged against CPU-bound
+// phases (Linux CFS-era magnitude).
+const timesliceQuantum = 4 * units.Millisecond
+
+// readaheadDepth is how many chunks the page cache prefetches ahead of
+// the consuming read(2) — deep enough that a fast device hides behind the
+// parse loop (the Figure 3 CPU-bound result), while a slow device (the
+// hard drive) still stalls the reader.
+const readaheadDepth = 4
+
+// DeserializeConventional runs the baseline path of Figure 1 for one host
+// thread pinned to CPU core coreIdx: conventional READs stream into the
+// page cache with readahead (phase A), the CPU converts strings to objects
+// (phase B), paying the OS overheads the profile in §II measured. Each
+// read(2) that crosses a readahead-window edge yields briefly even when
+// the data is resident — the syscall/scheduling churn the paper counts in
+// Figure 10 — and blocks for real when the device is behind.
+func (s *System) DeserializeConventional(ready units.Time, f *File, parser HostParser, spec ParseSpec, coreIdx int) (*DeserResult, error) {
+	cpb := spec.cyclesPerByte(s.Cfg.ParseCosts)
+	_, t := s.CreateStream(ready, f) // open(2) + fstat equivalent
+	bufAddr, t, err := s.Host.AllocDMA(t, 2*units.Bytes(s.Cfg.SSD.MDTS))
+	if err != nil {
+		return nil, err
+	}
+	res := &DeserResult{}
+	aligner := &recordAligner{}
+	var cpuAccum units.Duration // CPU time since the last timeslice expiry
+	chunks := s.chunksOf(f)
+	raws := make([][]byte, len(chunks))
+	pending := make([]Pending, len(chunks))
+	issued := 0
+	issue := func() error {
+		k := issued
+		ctx := &ssd.CmdContext{
+			Cmd:  nvme.BuildRead(0, chunks[k].slba, chunks[k].nlb, uint64(bufAddr)),
+			Sink: func(p []byte) { raws[k] = append(raws[k], p...) },
+		}
+		p, t2, err := s.Driver.SubmitAsync(t, ctx)
+		if err != nil {
+			return err
+		}
+		t = t2
+		pending[k] = p
+		issued++
+		return nil
+	}
+	for k := range chunks {
+		// Keep the readahead window full.
+		for issued < len(chunks) && issued <= k+readaheadDepth {
+			if err := issue(); err != nil {
+				return nil, err
+			}
+		}
+		// Phase A: read(2) consumes the chunk from the page cache.
+		if err := pending[k].Comp.Status.Err(); err != nil {
+			return nil, fmt.Errorf("core: READ failed: %w", err)
+		}
+		if pending[k].Done > t {
+			// Device behind the parser: a real blocking wait.
+			t = s.Host.BlockingWait(t, pending[k].Done)
+		} else {
+			// Data resident: the reader still yields across the window
+			// edge (short voluntary switch pair).
+			t = s.Host.ContextSwitch(t)
+			t = s.Host.ContextSwitch(t)
+		}
+		raw := raws[k]
+		raws[k] = nil
+		ch := chunks[k]
+		// The extent is page-padded; trim the final chunk to file size.
+		if over := res.RawBytes + units.Bytes(len(raw)) - f.Size; over > 0 {
+			raw = raw[:len(raw)-int(over)]
+		}
+		res.RawBytes += units.Bytes(len(raw))
+		// Phase B: parse on the CPU. The conversion loop reads the raw
+		// buffer and writes the object array — both cross the memory bus
+		// on top of the DMA traffic phase A already produced.
+		aligned := aligner.align(raw, ch.last)
+		var objs []byte
+		if len(aligned) > 0 || ch.last {
+			objs = parser(aligned, ch.last)
+		}
+		before := t
+		t = s.Host.ComputeOn(coreIdx, t, cpb*float64(len(raw)))
+		s.Host.MemTraffic(t, units.Bytes(len(raw))+units.Bytes(len(objs)))
+		s.Counters.Add("host.parse_cycles", int64(cpb*float64(len(raw))))
+		// Timeslice preemption: a CPU-bound parse loop sharing a
+		// multiprogrammed host gets descheduled once per quantum.
+		cpuAccum += t.Sub(before)
+		for cpuAccum >= timesliceQuantum {
+			cpuAccum -= timesliceQuantum
+			t = s.Host.ContextSwitch(t)
+			t = s.Host.ContextSwitch(t)
+		}
+		// Fresh object pages fault in as the array grows.
+		if len(objs) > 0 {
+			t = s.Host.PageFault(t)
+		}
+		res.Out = append(res.Out, objs...)
+		res.Commands++
+	}
+	res.Done = t
+	return res, nil
+}
+
+// DeserializeFromMedium is the Figure 3 variant: the same conventional
+// parse loop (including page-cache readahead), but the raw bytes come from
+// an arbitrary storage medium (hard drive, RAM drive) instead of NVMe
+// commands, and the data itself is supplied by the caller since those
+// media are pure timing models.
+func (s *System) DeserializeFromMedium(ready units.Time, medium host.Medium, data []byte, parser HostParser, spec ParseSpec, coreIdx int) (*DeserResult, error) {
+	cpb := spec.cyclesPerByte(s.Cfg.ParseCosts)
+	t := s.Host.Syscall(ready) // open
+	res := &DeserResult{}
+	aligner := &recordAligner{}
+	chunkSize := int(s.Cfg.SSD.MDTS)
+	nChunks := (len(data) + chunkSize - 1) / chunkSize
+	ioDone := make([]units.Time, nChunks)
+	issued := 0
+	issue := func() {
+		k := issued
+		n := chunkSize
+		if (k+1)*chunkSize > len(data) {
+			n = len(data) - k*chunkSize
+		}
+		ioDone[k] = medium.ReadChunk(t, units.Bytes(n))
+		issued++
+	}
+	for k := 0; k < nChunks; k++ {
+		off := k * chunkSize
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		raw := data[off:end]
+		final := end == len(data)
+		// Phase A: read(2) against the readahead window.
+		for issued < nChunks && issued <= k+readaheadDepth {
+			issue()
+		}
+		t = s.Host.Syscall(t)
+		if ioDone[k] > t {
+			t = s.Host.BlockingWait(t, ioDone[k])
+		} else {
+			t = s.Host.ContextSwitch(t)
+			t = s.Host.ContextSwitch(t)
+		}
+		res.RawBytes += units.Bytes(len(raw))
+		// Phase B: parse.
+		aligned := aligner.align(raw, final)
+		var objs []byte
+		if len(aligned) > 0 || final {
+			objs = parser(aligned, final)
+		}
+		t = s.Host.ComputeOn(coreIdx, t, cpb*float64(len(raw)))
+		s.Host.MemTraffic(t, units.Bytes(len(raw))+units.Bytes(len(objs)))
+		if len(objs) > 0 {
+			t = s.Host.PageFault(t)
+		}
+		res.Out = append(res.Out, objs...)
+		res.Commands++
+	}
+	res.Done = t
+	return res, nil
+}
+
+// StrippedParse models the §II profiling experiment that bypasses the OS
+// overheads while keeping the same interface: conversion-only cycles, no
+// syscalls, no context switches. Used by experiment E4.
+func (s *System) StrippedParse(ready units.Time, data []byte, spec ParseSpec, coreIdx int) units.Time {
+	pc := s.Cfg.ParseCosts
+	return s.Host.ComputeOn(coreIdx, ready, pc.ConvertCyclesPerInputByte(spec.FloatFrac)*float64(len(data)))
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"morpheus/internal/nvme"
+	"morpheus/internal/ssd"
+	"morpheus/internal/units"
+)
+
+// Driver is the extended NVMe driver of Figure 5: it owns the queue pair,
+// charges the protocol costs on the host side (SQE write, doorbell,
+// completion reaping), and understands the four Morpheus opcodes.
+type Driver struct {
+	sys *System
+	qp  *nvme.QueuePair
+
+	// SubmitCycles is the host CPU work to build an SQE and ring the
+	// doorbell; ReapCycles is the per-completion handling cost.
+	SubmitCycles float64
+	ReapCycles   float64
+}
+
+// NewDriver builds a driver with one I/O queue pair of the given depth.
+func NewDriver(sys *System, depth int) *Driver {
+	return &Driver{
+		sys:          sys,
+		qp:           nvme.NewQueuePair(1, depth),
+		SubmitCycles: 400,
+		ReapCycles:   250,
+	}
+}
+
+// Identify fetches and parses the controller's 4 KiB Identify page.
+func (d *Driver) Identify(ready units.Time) (*nvme.IdentifyController, units.Time, error) {
+	addr, t, err := d.sys.Host.AllocDMA(ready, nvme.IdentifySize)
+	if err != nil {
+		return nil, ready, err
+	}
+	var page []byte
+	ctx := &ssd.CmdContext{
+		Cmd:  nvme.Command{Opcode: nvme.OpAdminIdentify, PRP1: uint64(addr), CDW10: 1 /* CNS: controller */},
+		Sink: func(p []byte) { page = append(page, p...) },
+	}
+	comp, t, err := d.Submit(t, ctx)
+	if err != nil {
+		return nil, t, err
+	}
+	if err := comp.Status.Err(); err != nil {
+		return nil, t, fmt.Errorf("core: IDENTIFY failed: %w", err)
+	}
+	id, err := nvme.UnmarshalIdentify(page)
+	if err != nil {
+		return nil, t, err
+	}
+	return id, t, nil
+}
+
+// Pending is one in-flight command: its completion and the device-side
+// completion time.
+type Pending struct {
+	CID  uint16
+	Comp nvme.Completion
+	Done units.Time
+}
+
+// SubmitAsync submits one command without waiting: the host thread pays
+// the submission cost and continues; the returned Pending carries the
+// device-side completion time for a later Wait.
+func (d *Driver) SubmitAsync(ready units.Time, ctx *ssd.CmdContext) (Pending, units.Time, error) {
+	// Host builds the 64-byte SQE in the ring and writes the doorbell.
+	cid, err := d.qp.Submit(ctx.Cmd)
+	if err != nil {
+		return Pending{}, ready, fmt.Errorf("core: submit: %w", err)
+	}
+	ctx.Cmd.CID = cid
+	// Keep the device-visible ring in sync.
+	if _, err := d.qp.SQ.Pop(); err != nil {
+		return Pending{}, ready, err
+	}
+	tCPU := d.sys.Host.ComputeCycles(ready, d.SubmitCycles)
+	d.sys.Host.MemTraffic(ready, nvme.CommandSize)
+	comp, done := d.sys.SSD.Submit(tCPU, ctx)
+	if err := d.qp.Complete(comp.CID, comp.Status, comp.Result); err != nil {
+		return Pending{}, tCPU, err
+	}
+	if _, err := d.qp.CQ.Reap(); err != nil {
+		return Pending{}, tCPU, err
+	}
+	return Pending{CID: cid, Comp: comp, Done: done}, tCPU, nil
+}
+
+// Wait blocks the host thread until the pending command completes,
+// charging the context switches and interrupt of a blocking wait plus the
+// completion-reaping CPU work, and returns the completion.
+func (d *Driver) Wait(ready units.Time, p Pending) (nvme.Completion, units.Time) {
+	var t units.Time
+	if p.Done > ready {
+		t = d.sys.Host.BlockingWait(ready, p.Done)
+	} else {
+		// Already complete: polled from the CQ without blocking.
+		t = ready
+	}
+	t = d.sys.Host.ComputeCycles(t, d.ReapCycles)
+	d.sys.Host.MemTraffic(t, nvme.CompletionSize)
+	return p.Comp, t
+}
+
+// Submit is the synchronous convenience: submit then wait.
+func (d *Driver) Submit(ready units.Time, ctx *ssd.CmdContext) (nvme.Completion, units.Time, error) {
+	p, t, err := d.SubmitAsync(ready, ctx)
+	if err != nil {
+		return nvme.Completion{}, ready, err
+	}
+	comp, t := d.Wait(t, p)
+	return comp, t, nil
+}
+
+// WaitBatch waits for a whole batch at once: one blocking wait for the
+// slowest command, then per-completion reaping. This is the Morpheus
+// runtime's amortization — a batch of MREADs costs two context switches
+// total rather than two per command.
+func (d *Driver) WaitBatch(ready units.Time, ps []Pending) ([]nvme.Completion, units.Time) {
+	if len(ps) == 0 {
+		return nil, ready
+	}
+	var latest units.Time
+	for _, p := range ps {
+		if p.Done > latest {
+			latest = p.Done
+		}
+	}
+	t := ready
+	if latest > ready {
+		t = d.sys.Host.BlockingWait(ready, latest)
+	}
+	comps := make([]nvme.Completion, len(ps))
+	for i, p := range ps {
+		comps[i] = p.Comp
+		t = d.sys.Host.ComputeCycles(t, d.ReapCycles)
+	}
+	d.sys.Host.MemTraffic(t, units.Bytes(len(ps))*nvme.CompletionSize)
+	return comps, t
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"morpheus/internal/host"
+	"morpheus/internal/nvme"
+	"morpheus/internal/serial"
+	"morpheus/internal/ssd"
+	"morpheus/internal/stats"
+	"morpheus/internal/units"
+)
+
+func TestDriverSubmitWaitRoundTrip(t *testing.T) {
+	sys := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+	data, _ := testInput(1<<12, 1)
+	f, err := sys.WriteFile("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetTimers()
+	var raw []byte
+	ctx := &ssd.CmdContext{
+		Cmd:  nvme.BuildRead(0, f.SLBA, f.NLB, 0x100000),
+		Sink: func(p []byte) { raw = append(raw, p...) },
+	}
+	comp, done, err := sys.Driver.Submit(0, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Status != nvme.StatusSuccess {
+		t.Fatalf("status %v", comp.Status)
+	}
+	if done <= 0 {
+		t.Fatal("completion must take time")
+	}
+	if len(raw) < len(data) {
+		t.Fatalf("read %d of %d bytes", len(raw), len(data))
+	}
+}
+
+func TestWaitBatchSingleBlockingEpisode(t *testing.T) {
+	sys := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+	data, _ := testInput(1<<14, 2)
+	f, err := sys.WriteFile("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetTimers()
+	var pending []Pending
+	tNow := units.Time(0)
+	for _, ch := range sys.chunksOf(f) {
+		ctx := &ssd.CmdContext{Cmd: nvme.BuildRead(0, ch.slba, ch.nlb, 0x100000)}
+		p, t2, err := sys.Driver.SubmitAsync(tNow, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tNow = t2
+		pending = append(pending, p)
+	}
+	before := sys.Counters.Get(stats.CtxSwitches)
+	comps, end := sys.Driver.WaitBatch(tNow, pending)
+	if len(comps) != len(pending) {
+		t.Fatalf("completions = %d", len(comps))
+	}
+	switches := sys.Counters.Get(stats.CtxSwitches) - before
+	if switches > 2 {
+		t.Fatalf("batch wait cost %d switches, want <= 2 (the Figure 10 amortization)", switches)
+	}
+	if end <= tNow {
+		t.Fatal("wait must advance time")
+	}
+	// Waiting on an empty batch is a no-op.
+	if _, e := sys.Driver.WaitBatch(end, nil); e != end {
+		t.Fatal("empty batch wait must not advance time")
+	}
+}
+
+func TestDeserializeFromMediumMatchesConventional(t *testing.T) {
+	sys := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+	data, _ := testInput(1<<15, 4)
+	parser := serial.TokenParser{Kind: serial.FieldInt32}
+	mk := func() HostParser {
+		return func(chunk []byte, final bool) []byte { return parser.Parse(chunk, final) }
+	}
+	ram := host.NewRAMDrive(sys.Host)
+	res, err := sys.DeserializeFromMedium(0, ram, data, mk(), ParseSpec{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawBytes != units.Bytes(len(data)) {
+		t.Fatalf("raw = %v", res.RawBytes)
+	}
+	// Same objects as parsing in one shot.
+	whole := parser.Parse(data, true)
+	if len(res.Out) != len(whole) {
+		t.Fatalf("medium parse %d bytes vs whole %d", len(res.Out), len(whole))
+	}
+	for i := range whole {
+		if res.Out[i] != whole[i] {
+			t.Fatal("medium-parsed objects differ")
+		}
+	}
+}
+
+func TestHDDSlowerThanRAMDrive(t *testing.T) {
+	data, _ := testInput(1<<16, 4)
+	parser := serial.TokenParser{Kind: serial.FieldInt32}
+	mk := func() HostParser {
+		return func(chunk []byte, final bool) []byte { return parser.Parse(chunk, final) }
+	}
+	sys1 := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+	hdd, err := sys1.DeserializeFromMedium(0, host.NewHDD(sys1.Host), data, mk(), ParseSpec{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+	ram, err := sys2.DeserializeFromMedium(0, host.NewRAMDrive(sys2.Host), data, mk(), ParseSpec{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdd.Done <= ram.Done {
+		t.Fatalf("HDD (%v) must be slower than the RAM drive (%v)", hdd.Done, ram.Done)
+	}
+}
+
+func TestStrippedParseRatio(t *testing.T) {
+	sys := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+	data, _ := testInput(1<<16, 9)
+	end := sys.StrippedParse(0, data, ParseSpec{}, 0)
+	pc := sys.Cfg.ParseCosts
+	want := sys.Cfg.CPU.Freq.Cycles(pc.ConvertCyclesPerInputByte(0) * float64(len(data)))
+	if units.Duration(end) != want {
+		t.Fatalf("stripped parse = %v, want %v", end, want)
+	}
+}
+
+func TestOpenFileAndDuplicates(t *testing.T) {
+	sys := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+	if _, err := sys.WriteFile("a", []byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.WriteFile("a", []byte("y\n")); err == nil {
+		t.Fatal("duplicate file name must fail")
+	}
+	if _, err := sys.OpenFile("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.OpenFile("missing"); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestInstanceIDsUnique(t *testing.T) {
+	sys := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+	seen := map[uint32]bool{}
+	for i := 0; i < 100; i++ {
+		id := sys.NextInstanceID()
+		if seen[id] {
+			t.Fatalf("instance id %d reused", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"morpheus/internal/flash"
+	"morpheus/internal/serial"
+)
+
+func TestMediaErrorSurfacesToHost(t *testing.T) {
+	sys := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+	data, _ := testInput(1<<13, 21)
+	f, err := sys.WriteFile("ints", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetTimers()
+	// Every read fails uncorrectably from here on.
+	sys.SSD.Flash.SetFaultModel(flash.FaultModel{UncorrectablePerM: 1_000_000})
+
+	parser := serial.TokenParser{Kind: serial.FieldInt32}
+	_, err = sys.DeserializeConventional(0, f,
+		func(chunk []byte, final bool) []byte { return parser.Parse(chunk, final) },
+		ParseSpec{}, 0)
+	if err == nil || !strings.Contains(err.Error(), "READ failed") {
+		t.Fatalf("conventional read of damaged media: %v", err)
+	}
+	// The firmware retired the afflicted block.
+	if sys.SSD.FTL.BadBlocks() == 0 {
+		t.Fatal("media error must retire the block")
+	}
+	// The Morpheus path reports the same media error through MREAD.
+	_, err = sys.InvokeStorageApp(0, InvokeOptions{App: intApp(true), File: f})
+	if err == nil || !strings.Contains(err.Error(), "MREAD failed") {
+		t.Fatalf("MREAD over damaged media: %v", err)
+	}
+}
+
+func TestRareFaultsDoNotBreakRuns(t *testing.T) {
+	// A realistic low rate of correctable errors changes timing, not
+	// results.
+	sys := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+	data, vals := testInput(1<<14, 5)
+	f, err := sys.WriteFile("ints", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetTimers()
+	model := flash.DefaultFaultModel()
+	model.CorrectablePerM = 200_000 // 20% of reads pay an ECC retry
+	sys.SSD.Flash.SetFaultModel(model)
+	inv, err := sys.InvokeStorageApp(0, InvokeOptions{App: intApp(true), File: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := serial.DecodeI32(inv.Out)
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d of %d values", len(got), len(vals))
+	}
+	c, u := sys.SSD.Flash.FaultStats()
+	if c == 0 {
+		t.Fatal("expected correctable faults to fire")
+	}
+	if u != 0 {
+		t.Fatalf("unexpected uncorrectable faults: %d", u)
+	}
+}
+
+// TestSimulationDeterminism: identical configuration and seed produce
+// identical simulated times and identical data — the property every
+// experiment in internal/exp relies on.
+func TestSimulationDeterminism(t *testing.T) {
+	run := func() (int64, int, string) {
+		sys := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+		data, _ := testInput(1<<14, 33)
+		f, err := sys.WriteFile("ints", data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.ResetTimers()
+		inv, err := sys.InvokeStorageApp(0, InvokeOptions{App: intApp(true), File: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(inv.Done), len(inv.Out), sys.Counters.String()
+	}
+	d1, n1, c1 := run()
+	d2, n2, c2 := run()
+	if d1 != d2 || n1 != n2 || c1 != c2 {
+		t.Fatalf("two identical runs diverged: %d/%d bytes=%d/%d\ncounters A:\n%s\ncounters B:\n%s",
+			d1, d2, n1, n2, c1, c2)
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"morpheus/internal/morphc"
+	"morpheus/internal/mvm"
+	"morpheus/internal/nvme"
+	"morpheus/internal/pcie"
+	"morpheus/internal/ssd"
+	"morpheus/internal/units"
+)
+
+// StorageApp is a device function as the programmer wrote it: MorphC
+// source plus an optional native continuation used by sampled execution.
+// The paper's compiler emits host and device binaries from one source
+// file; here Compile produces the device image and the runtime plays the
+// role of the inserted host-side glue.
+type StorageApp struct {
+	Name string
+	// Source is the MorphC program text.
+	Source string
+	// EntryPoint selects the StorageApp function when Source declares
+	// several ("" = the only one).
+	EntryPoint string
+	// NativeFactory builds a fresh native data-plane continuation per
+	// invocation (nil forces exact interpretation).
+	NativeFactory func() ssd.NativeFunc
+
+	once     sync.Once
+	compiled *mvm.Program
+	compErr  error
+}
+
+// Compile compiles (once) and returns the device program.
+func (a *StorageApp) Compile() (*mvm.Program, error) {
+	a.once.Do(func() {
+		a.compiled, a.compErr = morphc.Compile(a.Source, a.EntryPoint)
+	})
+	return a.compiled, a.compErr
+}
+
+// Target is a DMA destination for StorageApp output: host DRAM (default)
+// or GPU device memory over NVMe-P2P.
+type Target struct {
+	Addr  pcie.Addr
+	OnGPU bool
+}
+
+// InvokeResult reports one StorageApp run.
+type InvokeResult struct {
+	// Out is the data-plane shadow of the object bytes the SSD DMA'd to
+	// the destination.
+	Out []byte
+	// RetVal is the MDEINIT completion value.
+	RetVal uint32
+	// Done is when the host thread observed MDEINIT completion.
+	Done units.Time
+	// Commands is the number of NVMe commands issued.
+	Commands int
+	// CyclesPerByte is the measured embedded-core cost.
+	CyclesPerByte float64
+}
+
+// InvokeOptions parameterizes InvokeStorageApp.
+type InvokeOptions struct {
+	App  *StorageApp
+	File *File
+	Args []int64
+	// Dest is where objects go. A zero Target allocates a host DMA
+	// buffer; set OnGPU for the NVMe-P2P path (requires EnableP2P).
+	Dest Target
+}
+
+// InvokeStorageApp runs the full §V-B protocol on behalf of one host
+// thread: ms_stream_create, MINIT, a pipelined train of MREADs split at
+// the MDTS, and MDEINIT. It returns when the host thread has observed the
+// final completion.
+func (s *System) InvokeStorageApp(ready units.Time, opt InvokeOptions) (*InvokeResult, error) {
+	if opt.App == nil || opt.File == nil {
+		return nil, fmt.Errorf("core: InvokeStorageApp needs an app and a file")
+	}
+	if s.Identify != nil && !s.Identify.Morpheus.Supported {
+		return nil, ErrNoMorpheus
+	}
+	prog, err := opt.App.Compile()
+	if err != nil {
+		return nil, err
+	}
+	image, err := prog.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	_, t := s.CreateStream(ready, opt.File)
+
+	// Resolve the destination buffer.
+	dest := opt.Dest
+	if dest.Addr == 0 {
+		if dest.OnGPU {
+			if s.GPU == nil {
+				return nil, fmt.Errorf("core: no GPU in this system")
+			}
+			if !s.GPU.PeerBAREnabled() {
+				return nil, fmt.Errorf("core: GPU destination requires EnableP2P (the BAR window is unmapped)")
+			}
+			a, err := s.GPU.Alloc(2 * opt.File.Size)
+			if err != nil {
+				return nil, err
+			}
+			dest.Addr = a
+		} else {
+			a, t2, err := s.Host.AllocDMA(t, 2*opt.File.Size)
+			if err != nil {
+				return nil, err
+			}
+			dest.Addr, t = a, t2
+		}
+	}
+
+	// Stage the code image in a pinned host buffer and MINIT.
+	codeAddr, t, err := s.Host.AllocDMA(t, units.Bytes(len(image)))
+	if err != nil {
+		return nil, err
+	}
+	id := s.NextInstanceID()
+	var native ssd.NativeFunc
+	if opt.App.NativeFactory != nil {
+		native = opt.App.NativeFactory()
+	}
+	initCtx := &ssd.CmdContext{
+		Cmd:    nvme.BuildMInit(0, uint64(codeAddr), uint32(len(image)), id, uint32(len(opt.Args)), 0),
+		Code:   image,
+		Args:   opt.Args,
+		Native: native,
+	}
+	comp, t, err := s.Driver.Submit(t, initCtx)
+	if err != nil {
+		return nil, err
+	}
+	if err := comp.Status.Err(); err != nil {
+		return nil, fmt.Errorf("core: MINIT failed: %w", err)
+	}
+
+	// Pipelined MREAD train.
+	res := &InvokeResult{Commands: 1}
+	sink := func(p []byte) { res.Out = append(res.Out, p...) }
+	dstAddr := uint64(dest.Addr)
+	var pending []Pending
+	batch := s.Cfg.BatchDepth
+	if batch <= 0 {
+		batch = 32
+	}
+	flush := func() error {
+		comps, t2 := s.Driver.WaitBatch(t, pending)
+		t = t2
+		for _, cp := range comps {
+			if err := cp.Status.Err(); err != nil {
+				return fmt.Errorf("core: MREAD failed: %w", err)
+			}
+		}
+		pending = pending[:0]
+		return nil
+	}
+	var offset int64
+	for _, ch := range s.chunksOf(opt.File) {
+		chunkBytes := int64(ch.nlb) * nvme.LBASize
+		valid := int64(opt.File.Size) - offset
+		if valid > chunkBytes {
+			valid = chunkBytes
+		}
+		offset += chunkBytes
+		ctx := &ssd.CmdContext{
+			Cmd:        nvme.BuildMRead(0, ch.slba, ch.nlb, id, dstAddr),
+			Sink:       sink,
+			LastChunk:  ch.last,
+			ValidBytes: int(valid),
+		}
+		p, t2, err := s.Driver.SubmitAsync(t, ctx)
+		if err != nil {
+			return nil, err
+		}
+		t = t2
+		res.Commands++
+		pending = append(pending, p)
+		dstAddr += uint64(s.Cfg.SSD.MDTS) * 2 // reserve worst-case expansion
+		if len(pending) >= batch {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+
+	// MDEINIT: collect the return value, free device resources.
+	if cpb, ok := s.SSD.InstanceCPB(id); ok {
+		res.CyclesPerByte = cpb
+	}
+	deinitCtx := &ssd.CmdContext{Cmd: nvme.BuildMDeinit(0, id)}
+	comp, t, err = s.Driver.Submit(t, deinitCtx)
+	if err != nil {
+		return nil, err
+	}
+	if err := comp.Status.Err(); err != nil {
+		return nil, fmt.Errorf("core: MDEINIT failed: %w", err)
+	}
+	res.Commands++
+	res.RetVal = comp.Result
+	res.Done = t
+	return res, nil
+}
+
+// SerializeResult reports one MWRITE-driven serialization run.
+type SerializeResult struct {
+	Written []byte // the bytes the StorageApp produced and stored on flash
+	RetVal  uint32
+	Done    units.Time
+}
+
+// SerializeStorageApp runs the MWRITE direction: the host streams object
+// bytes to the device, the StorageApp transforms them (e.g. formats text),
+// and the result is written to the file's extent. This is the
+// serialization support §III mentions; the paper's workloads barely
+// exercise it, but the machinery is symmetric.
+func (s *System) SerializeStorageApp(ready units.Time, app *StorageApp, f *File, data []byte, args []int64) (*SerializeResult, error) {
+	if s.Identify != nil && !s.Identify.Morpheus.Supported {
+		return nil, ErrNoMorpheus
+	}
+	prog, err := app.Compile()
+	if err != nil {
+		return nil, err
+	}
+	image, err := prog.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	_, t := s.CreateStream(ready, f)
+	srcAddr, t, err := s.Host.AllocDMA(t, units.Bytes(len(data))+units.Bytes(len(image)))
+	if err != nil {
+		return nil, err
+	}
+	id := s.NextInstanceID()
+	initCtx := &ssd.CmdContext{
+		Cmd:  nvme.BuildMInit(0, uint64(srcAddr), uint32(len(image)), id, uint32(len(args)), 0),
+		Code: image,
+		Args: args,
+	}
+	comp, t, err := s.Driver.Submit(t, initCtx)
+	if err != nil {
+		return nil, err
+	}
+	if err := comp.Status.Err(); err != nil {
+		return nil, fmt.Errorf("core: MINIT failed: %w", err)
+	}
+	res := &SerializeResult{}
+	mdts := int64(s.Cfg.SSD.MDTS)
+	slba := f.SLBA
+	for off := int64(0); off < int64(len(data)) || off == 0; off += mdts {
+		end := off + mdts
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		chunk := data[off:end]
+		nlb := uint32((len(chunk) + nvme.LBASize - 1) / nvme.LBASize)
+		if nlb == 0 {
+			nlb = 1
+		}
+		ctx := &ssd.CmdContext{
+			Cmd:       nvme.BuildMWrite(0, slba, nlb, id, uint64(srcAddr)),
+			Data:      chunk,
+			LastChunk: end == int64(len(data)),
+			Sink:      func(p []byte) { res.Written = append(res.Written, p...) },
+		}
+		comp, t2, err := s.Driver.Submit(t, ctx)
+		if err != nil {
+			return nil, err
+		}
+		t = t2
+		if err := comp.Status.Err(); err != nil {
+			return nil, fmt.Errorf("core: MWRITE failed: %w", err)
+		}
+		slba += uint64((len(res.Written) + nvme.LBASize - 1) / nvme.LBASize)
+		if end == int64(len(data)) {
+			break
+		}
+	}
+	deinit := &ssd.CmdContext{Cmd: nvme.BuildMDeinit(0, id)}
+	comp, t, err = s.Driver.Submit(t, deinit)
+	if err != nil {
+		return nil, err
+	}
+	if err := comp.Status.Err(); err != nil {
+		return nil, fmt.Errorf("core: MDEINIT failed: %w", err)
+	}
+	res.RetVal = comp.Result
+	res.Done = t
+	return res, nil
+}
+
+// EnableP2P programs the GPU BAR into the PCIe switch (the NVMe-P2P module
+// of §IV-C). After this, InvokeStorageApp with Dest.OnGPU delivers objects
+// device-to-device, bypassing host DRAM entirely.
+func (s *System) EnableP2P() error {
+	if s.GPU == nil {
+		return fmt.Errorf("core: system has no GPU")
+	}
+	return s.GPU.EnablePeerBAR()
+}

@@ -1,0 +1,217 @@
+// Package core implements the paper's primary contribution: the Morpheus
+// model. It provides the host-side pieces of Figure 5 — the runtime system
+// that turns StorageApp invocations into MINIT/MREAD/MWRITE/MDEINIT
+// command sequences, the extended NVMe driver, the ms_stream file
+// abstraction, and NVMe-P2P for direct SSD→GPU object delivery — glued to
+// the simulated testbed (host CPU/OS, Morpheus-SSD, GPU, PCIe fabric).
+package core
+
+import (
+	"fmt"
+
+	"morpheus/internal/gpu"
+	"morpheus/internal/host"
+	"morpheus/internal/nvme"
+	"morpheus/internal/pcie"
+	"morpheus/internal/ssd"
+	"morpheus/internal/stats"
+	"morpheus/internal/trace"
+	"morpheus/internal/units"
+)
+
+// ErrNoMorpheus is returned when the attached controller does not
+// advertise the Morpheus capability.
+var ErrNoMorpheus = fmt.Errorf("core: controller does not support the Morpheus extension opcodes")
+
+// SystemConfig assembles a testbed.
+type SystemConfig struct {
+	CPU host.CPUConfig
+	OS  host.OSCosts
+	Mem host.MemConfig
+	SSD ssd.Config
+	GPU gpu.Config
+	// WithGPU attaches the accelerator (the Rodinia configurations).
+	WithGPU bool
+	// ParseCosts is the host-side deserialization cost model.
+	ParseCosts host.ParseCosts
+	// BatchDepth is how many MREAD commands the Morpheus runtime keeps in
+	// flight before blocking for completions.
+	BatchDepth int
+}
+
+// DefaultSystemConfig matches §VI-A.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		CPU:        host.DefaultCPU(),
+		OS:         host.DefaultOSCosts(),
+		Mem:        host.DefaultMem(),
+		SSD:        ssd.DefaultConfig(),
+		GPU:        gpu.DefaultConfig(),
+		WithGPU:    true,
+		ParseCosts: host.DefaultParseCosts(),
+		BatchDepth: 64,
+	}
+}
+
+// File is a named extent on the SSD, as the host file system sees it. The
+// ms_stream_create path asks the file system for exactly this layout
+// information ("permission to access a file and information about the
+// logical block addresses in file layouts").
+type File struct {
+	Name string
+	Size units.Bytes
+	SLBA uint64
+	NLB  uint32
+}
+
+// System is the whole simulated testbed.
+type System struct {
+	Cfg      SystemConfig
+	Counters *stats.Set
+	Fabric   *pcie.Fabric
+	Host     *host.Host
+	SSD      *ssd.Controller
+	GPU      *gpu.GPU
+	Driver   *Driver
+	// Identify is the controller's Identify page, fetched by the driver
+	// at attach time — how the runtime learns the device speaks Morpheus
+	// and what its transfer/working-set limits are.
+	Identify *nvme.IdentifyController
+
+	files        map[string]*File
+	nextPage     int64
+	nextInstance uint32
+}
+
+// NewSystem builds the testbed.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	counters := stats.NewSet()
+	fabric := pcie.NewFabric(counters, host.EndpointName)
+	h, err := host.New(cfg.CPU, cfg.OS, cfg.Mem, counters, fabric)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := ssd.New(cfg.SSD, counters, fabric)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
+		Cfg:      cfg,
+		Counters: counters,
+		Fabric:   fabric,
+		Host:     h,
+		SSD:      ctrl,
+		files:    make(map[string]*File),
+	}
+	if cfg.WithGPU {
+		sys.GPU = gpu.New(cfg.GPU, fabric)
+	}
+	sys.Driver = NewDriver(sys, 1024)
+	id, _, err := sys.Driver.Identify(0)
+	if err != nil {
+		return nil, fmt.Errorf("core: identify: %w", err)
+	}
+	sys.Identify = id
+	if max := id.MaxTransferBytes(); max > 0 && int64(cfg.SSD.MDTS) > max {
+		return nil, fmt.Errorf("core: configured MDTS %v exceeds the device limit %d", cfg.SSD.MDTS, max)
+	}
+	// Attach-time work (the Identify round trip) is not part of any
+	// measurement; hand the system over with clean timers.
+	sys.ResetTimers()
+	return sys, nil
+}
+
+// WriteFile stages data onto the SSD under name at setup time (through the
+// ordinary FTL write path) and returns its extent. Call ResetTimers before
+// measuring.
+func (s *System) WriteFile(name string, data []byte) (*File, error) {
+	if _, dup := s.files[name]; dup {
+		return nil, fmt.Errorf("core: file %q already exists", name)
+	}
+	pageSize := int64(s.Cfg.SSD.Geometry.PageSize)
+	slba, nlb, err := s.SSD.LoadFile(s.nextPage, data)
+	if err != nil {
+		return nil, err
+	}
+	s.nextPage += (int64(len(data)) + pageSize - 1) / pageSize
+	f := &File{Name: name, Size: units.Bytes(len(data)), SLBA: slba, NLB: nlb}
+	s.files[name] = f
+	return f, nil
+}
+
+// OpenFile looks up a staged file.
+func (s *System) OpenFile(name string) (*File, error) {
+	f, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no such file %q", name)
+	}
+	return f, nil
+}
+
+// ResetTimers zeroes all timing state and statistics, preserving stored
+// data — the boundary between experiment setup and measurement.
+func (s *System) ResetTimers() {
+	s.Host.Cores.Reset()
+	s.Host.MemBus.Reset()
+	s.SSD.ResetTimers()
+	s.Counters.Reset()
+}
+
+// EnableTrace attaches an event tracer to the SSD (capped at cap events;
+// 0 = unbounded) and returns it. Use tracer.WriteTimeline / WriteGantt to
+// inspect command-level overlap.
+func (s *System) EnableTrace(cap int) *trace.Tracer {
+	t := trace.New(cap)
+	s.SSD.SetTracer(t)
+	return t
+}
+
+// NextInstanceID issues a unique StorageApp instance ID ("the Morpheus-SSD
+// runtime also generates a unique instance ID for each thread calling a
+// StorageApp").
+func (s *System) NextInstanceID() uint32 {
+	s.nextInstance++
+	return s.nextInstance
+}
+
+// Stream is the host-side ms_stream: a handle carrying the file layout the
+// runtime needs to generate MREAD/MWRITE commands.
+type Stream struct {
+	File *File
+}
+
+// CreateStream implements ms_stream_create: it consults the file system
+// for permissions and the LBA layout, leaving "the file permission checks
+// in the host operating system" rather than on the SSD. It costs one
+// system call.
+func (s *System) CreateStream(ready units.Time, f *File) (*Stream, units.Time) {
+	return &Stream{File: f}, s.Host.Syscall(ready)
+}
+
+// chunks splits an extent into MDTS-sized command ranges.
+type chunkRange struct {
+	slba uint64
+	nlb  uint32
+	last bool
+}
+
+func (s *System) chunksOf(f *File) []chunkRange {
+	mdts := int64(s.Cfg.SSD.MDTS)
+	lbaPerCmd := mdts / nvme.LBASize
+	var out []chunkRange
+	remaining := int64(f.NLB)
+	slba := f.SLBA
+	for remaining > 0 {
+		n := remaining
+		if n > lbaPerCmd {
+			n = lbaPerCmd
+		}
+		out = append(out, chunkRange{slba: slba, nlb: uint32(n)})
+		slba += uint64(n)
+		remaining -= n
+	}
+	if len(out) > 0 {
+		out[len(out)-1].last = true
+	}
+	return out
+}

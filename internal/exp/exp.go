@@ -1,0 +1,171 @@
+// Package exp is the experiment harness: one runner per table/figure of
+// the paper's evaluation (plus the ablations DESIGN.md calls out), each
+// regenerating the same rows/series the paper reports. The cmd/morpheusbench
+// binary and the repository's testing.B benchmarks are thin wrappers over
+// this package.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"morpheus/internal/apps"
+	"morpheus/internal/core"
+	"morpheus/internal/units"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale shrinks the Table I input sizes (1.0 = paper size). The
+	// simulation is analytic in input size, so shapes are scale-stable;
+	// the default keeps bench runtimes pleasant.
+	Scale float64
+	// Seed drives the deterministic workload generators.
+	Seed int64
+	// CPUFreq overrides the host DVFS point (0 = default 2.5 GHz).
+	CPUFreq units.Frequency
+	// Mutate, if set, adjusts the system configuration before building.
+	Mutate func(*core.SystemConfig)
+}
+
+// DefaultOptions is the bench-friendly configuration.
+func DefaultOptions() Options {
+	return Options{Scale: 1.0 / 256, Seed: 20160618} // ISCA'16 conference date
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1.0 / 256
+	}
+	return o.Scale
+}
+
+// buildSystem constructs a fresh testbed for one run.
+func buildSystem(o Options, withGPU bool) (*core.System, error) {
+	cfg := core.DefaultSystemConfig()
+	cfg.WithGPU = withGPU
+	if o.Mutate != nil {
+		o.Mutate(&cfg)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if o.CPUFreq > 0 {
+		sys.Host.SetFrequency(o.CPUFreq)
+	}
+	return sys, nil
+}
+
+// runApp stages and executes one application in one mode on a fresh
+// system, returning the report and the system (for counter inspection).
+func runApp(app *apps.App, mode apps.Mode, o Options) (*apps.Report, *core.System, error) {
+	sys, err := buildSystem(o, app.UsesGPU)
+	if err != nil {
+		return nil, nil, err
+	}
+	files, _, err := apps.Stage(sys, app, o.scale(), o.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys.ResetTimers()
+	rep, err := apps.Run(sys, app, files, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, sys, nil
+}
+
+// Table is a simple aligned text table used by every experiment printer.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a footnote line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (header row first; notes
+// become trailing comment lines) for downstream plotting.
+func (t *Table) WriteCSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			io.WriteString(w, c)
+		}
+		io.WriteString(w, "\n")
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+}
+
+// pct formats a ratio as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// f2 formats a float with two decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// geoMean returns the geometric mean of xs (0 for empty).
+func geoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+
+	"morpheus/internal/apps"
+	"morpheus/internal/units"
+)
+
+// Fig8Row is one bar of Figure 8: the object-deserialization speedup of
+// Morpheus-SSD over the conventional model.
+type Fig8Row struct {
+	App           string
+	BaselineDeser units.Duration
+	MorpheusDeser units.Duration
+	Speedup       float64
+	CyclesPerByte float64
+}
+
+// Fig8Result is the whole figure.
+type Fig8Result struct {
+	Rows []Fig8Row
+	Avg  float64
+	Max  float64
+	SpMV float64
+}
+
+// RunFig8 regenerates Figure 8.
+func RunFig8(o Options) (*Fig8Result, error) {
+	res := &Fig8Result{}
+	var speedups []float64
+	for _, app := range apps.All() {
+		base, _, err := runApp(app, apps.ModeBaseline, o)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s baseline: %w", app.Name, err)
+		}
+		morph, _, err := runApp(app, apps.ModeMorpheus, o)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s morpheus: %w", app.Name, err)
+		}
+		if err := apps.VerifyObjects(base, morph); err != nil {
+			return nil, fmt.Errorf("fig8 %s: object mismatch: %w", app.Name, err)
+		}
+		sp := float64(base.Deser) / float64(morph.Deser)
+		row := Fig8Row{
+			App:           app.Name,
+			BaselineDeser: base.Deser,
+			MorpheusDeser: morph.Deser,
+			Speedup:       sp,
+			CyclesPerByte: morph.CyclesPerByte,
+		}
+		res.Rows = append(res.Rows, row)
+		speedups = append(speedups, sp)
+		if sp > res.Max {
+			res.Max = sp
+		}
+		if app.Name == "spmv" {
+			res.SpMV = sp
+		}
+	}
+	res.Avg = mean(speedups)
+	return res, nil
+}
+
+// Table renders the figure.
+func (r *Fig8Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 8 — object deserialization speedup with Morpheus-SSD",
+		Header: []string{"app", "baseline deser", "morpheus deser", "speedup", "SSD cycles/byte"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.App, row.BaselineDeser.String(), row.MorpheusDeser.String(),
+			f2(row.Speedup)+"x", f2(row.CyclesPerByte))
+	}
+	t.Note("average speedup = %sx (paper: %.2fx), max = %sx (paper: up to %.1fx)",
+		f2(r.Avg), PaperDeserSpeedupAvg, f2(r.Max), PaperDeserSpeedupMax)
+	t.Note("spmv = %sx (paper: ~%.1fx — software floating point on the embedded cores)",
+		f2(r.SpMV), PaperDeserSpeedupSpMV)
+	return t
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+
+	"morpheus/internal/apps"
+	"morpheus/internal/stats"
+	"morpheus/internal/units"
+)
+
+// TrafficRow is one application's interconnect traffic under both models
+// (the §VII-A text numbers: PCIe −22%, CPU-memory bus −58%).
+type TrafficRow struct {
+	App             string
+	BasePCIe        units.Bytes
+	MorphPCIe       units.Bytes
+	BaseMemBus      units.Bytes
+	MorphMemBus     units.Bytes
+	PCIeReduction   float64
+	MemBusReduction float64
+}
+
+// TrafficResult is the whole experiment.
+type TrafficResult struct {
+	Rows               []TrafficRow
+	AvgPCIeReduction   float64
+	AvgMemBusReduction float64
+}
+
+// RunTraffic regenerates the §VII-A traffic measurements over the full
+// runs (deserialization + kernel).
+func RunTraffic(o Options) (*TrafficResult, error) {
+	res := &TrafficResult{}
+	var pcieRed, memRed []float64
+	for _, app := range apps.All() {
+		_, sysB, err := runApp(app, apps.ModeBaseline, o)
+		if err != nil {
+			return nil, fmt.Errorf("traffic %s baseline: %w", app.Name, err)
+		}
+		_, sysM, err := runApp(app, apps.ModeMorpheus, o)
+		if err != nil {
+			return nil, fmt.Errorf("traffic %s morpheus: %w", app.Name, err)
+		}
+		row := TrafficRow{
+			App:         app.Name,
+			BasePCIe:    sysB.Counters.Bytes(stats.PCIeHostBytes) + sysB.Counters.Bytes(stats.PCIeP2PBytes),
+			MorphPCIe:   sysM.Counters.Bytes(stats.PCIeHostBytes) + sysM.Counters.Bytes(stats.PCIeP2PBytes),
+			BaseMemBus:  sysB.Counters.Bytes(stats.MemBusBytes),
+			MorphMemBus: sysM.Counters.Bytes(stats.MemBusBytes),
+		}
+		if row.BasePCIe > 0 {
+			row.PCIeReduction = 1 - float64(row.MorphPCIe)/float64(row.BasePCIe)
+		}
+		if row.BaseMemBus > 0 {
+			row.MemBusReduction = 1 - float64(row.MorphMemBus)/float64(row.BaseMemBus)
+		}
+		res.Rows = append(res.Rows, row)
+		pcieRed = append(pcieRed, row.PCIeReduction)
+		memRed = append(memRed, row.MemBusReduction)
+	}
+	res.AvgPCIeReduction = mean(pcieRed)
+	res.AvgMemBusReduction = mean(memRed)
+	return res, nil
+}
+
+// Table renders the experiment.
+func (r *TrafficResult) Table() *Table {
+	t := &Table{
+		Title:  "§VII-A — interconnect traffic, conventional vs Morpheus",
+		Header: []string{"app", "PCIe base", "PCIe morpheus", "PCIe saved", "membus base", "membus morpheus", "membus saved"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.App, row.BasePCIe.String(), row.MorphPCIe.String(), pct(row.PCIeReduction),
+			row.BaseMemBus.String(), row.MorphMemBus.String(), pct(row.MemBusReduction))
+	}
+	t.Note("average PCIe reduction = %s (paper: %s); average CPU-memory bus reduction = %s (paper: %s)",
+		pct(r.AvgPCIeReduction), pct(PaperPCIeTrafficReduction),
+		pct(r.AvgMemBusReduction), pct(PaperMemBusTrafficReduction))
+	return t
+}

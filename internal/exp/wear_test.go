@@ -1,0 +1,25 @@
+package exp
+
+import "testing"
+
+func TestWearSweepShape(t *testing.T) {
+	r, err := RunWearSweep(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Table().String())
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		if row.WriteAmplification < 1 {
+			t.Fatalf("WA %v < 1 is impossible", row.WriteAmplification)
+		}
+		if i > 0 && row.WriteAmplification > r.Rows[i-1].WriteAmplification+0.01 {
+			t.Fatalf("WA must fall with overprovisioning: %v", r.Rows)
+		}
+	}
+	if first, last := r.Rows[0].WriteAmplification, r.Rows[len(r.Rows)-1].WriteAmplification; first <= last+0.1 {
+		t.Fatalf("WA at 7%% OP (%v) should clearly exceed WA at 40%% (%v)", first, last)
+	}
+}

@@ -1,0 +1,148 @@
+package ftl
+
+import (
+	"errors"
+	"testing"
+
+	"morpheus/internal/flash"
+	"morpheus/internal/units"
+)
+
+func TestMediaErrorSurfacesAndRetire(t *testing.T) {
+	arr, err := flash.New(smallGeometry(), flash.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(arr, DefaultConfig())
+	// Write a working set, then damage every page (uncorrectable rate
+	// 100%) so the first read fails deterministically.
+	for i := 0; i < 4; i++ {
+		if _, err := f.Write(0, LBA(i), page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arr.SetFaultModel(flash.FaultModel{UncorrectablePerM: 1_000_000})
+	_, _, err = f.Read(0, 0)
+	if !errors.Is(err, ErrMediaError) {
+		t.Fatalf("err = %v, want ErrMediaError", err)
+	}
+	// Firmware retires the block; with every page damaged, the valid
+	// pages on it are lost.
+	ppa, _ := f.Lookup(0)
+	if _, err := f.RetireBlock(0, ppa.BlockAddress()); err != nil {
+		t.Fatal(err)
+	}
+	if f.BadBlocks() != 1 {
+		t.Fatalf("bad blocks = %d", f.BadBlocks())
+	}
+	if !f.IsBad(ppa.BlockAddress()) {
+		t.Fatal("block not marked bad")
+	}
+	if f.LostPages() == 0 {
+		t.Fatal("fully damaged block must lose its pages")
+	}
+	// Lost LBAs are unmapped now.
+	if _, _, err := f.Read(0, 0); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("read of lost page: %v, want unmapped", err)
+	}
+}
+
+func TestRetireRelocatesReadablePages(t *testing.T) {
+	arr, err := flash.New(smallGeometry(), flash.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(arr, DefaultConfig())
+	for i := 0; i < 4; i++ {
+		if _, err := f.Write(0, LBA(i), page(byte(10+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No faults: retiring a healthy block relocates everything.
+	ppa, _ := f.Lookup(0)
+	blk := ppa.BlockAddress()
+	if _, err := f.RetireBlock(0, blk); err != nil {
+		t.Fatal(err)
+	}
+	if f.LostPages() != 0 {
+		t.Fatalf("lost %d pages from a healthy block", f.LostPages())
+	}
+	for i := 0; i < 4; i++ {
+		data, _, err := f.Read(0, LBA(i))
+		if err != nil {
+			t.Fatalf("lba %d after retire: %v", i, err)
+		}
+		if data[0] != byte(10+i) {
+			t.Fatalf("lba %d content lost", i)
+		}
+		cur, _ := f.Lookup(LBA(i))
+		if cur.BlockAddress() == blk {
+			t.Fatalf("lba %d still maps into the retired block", i)
+		}
+	}
+	// The retired block is never handed out again.
+	writes := smallGeometry().BlocksPerPlane * smallGeometry().PagesPerBlock
+	for i := 0; i < writes; i++ {
+		if _, err := f.Write(0, LBA(i%16), page(byte(i))); err != nil {
+			break // capacity/GC limits are fine here
+		}
+		cur, _ := f.Lookup(LBA(i % 16))
+		if cur.BlockAddress() == blk {
+			t.Fatalf("write %d landed on the retired block", i)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetireIdempotentAndFreeBlock(t *testing.T) {
+	arr, _ := flash.New(smallGeometry(), flash.DefaultTiming())
+	f := New(arr, DefaultConfig())
+	blk := flash.BlockAddr{Channel: 1, Die: 0, Plane: 1, Block: 3}
+	if _, err := f.RetireBlock(0, blk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RetireBlock(0, blk); err != nil {
+		t.Fatal(err)
+	}
+	if f.BadBlocks() != 1 {
+		t.Fatalf("bad blocks = %d", f.BadBlocks())
+	}
+}
+
+func TestCorrectableErrorsAddLatencyOnly(t *testing.T) {
+	// Clean read on a pristine array.
+	cleanArr, _ := flash.New(smallGeometry(), flash.DefaultTiming())
+	addr := flash.PPA{Channel: 0, Die: 0, Plane: 0, Block: 0, Page: 0}
+	_, clean, err := cleanArr.Read(0, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same read with a 100% correctable-error rate.
+	dirtyArr, _ := flash.New(smallGeometry(), flash.DefaultTiming())
+	model := flash.DefaultFaultModel()
+	model.CorrectablePerM = 1_000_000
+	dirtyArr.SetFaultModel(model)
+	data, dirty, err := dirtyArr.Read(0, addr)
+	if err != nil {
+		t.Fatalf("correctable error must not fail the read: %v", err)
+	}
+	if data[0] != 0xFF {
+		t.Fatal("erased page content wrong")
+	}
+	if got := dirty - clean; got < units.Time(model.RetryPenalty) {
+		t.Fatalf("ECC retry added %v, want >= %v", got, model.RetryPenalty)
+	}
+	c, u := dirtyArr.FaultStats()
+	if c != 1 || u != 0 {
+		t.Fatalf("fault stats = %d/%d", c, u)
+	}
+	// Through the FTL, a correctable error is invisible except in time.
+	f := New(dirtyArr, DefaultConfig())
+	f.Write(0, 0, page(9))
+	got, _, err := f.Read(0, 0)
+	if err != nil || got[0] != 9 {
+		t.Fatalf("FTL read through correctable errors: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package host
+
+import "morpheus/internal/units"
+
+// CoRunner occupies a share of the host CPU with a competing workload —
+// the "multiprogrammed environment" the paper argues Morpheus helps
+// (§III: offloading deserialization "frees up CPU resources that can
+// either do more useful work or be left idle"). With the interval-ledger
+// core model, timesharing is expressed as periodic occupancy: the
+// co-runner holds each core for load x quantum out of every quantum, and
+// the measured application's work backfills the gaps. (Work must be
+// charged in sub-quantum pieces to interleave — which the conventional
+// parse loop does naturally, one piece per MDTS chunk; a single
+// multi-quantum Acquire would instead wait for a contiguous gap.)
+type CoRunner struct {
+	Cores   []int          // which cores the co-runner competes on
+	Load    float64        // fraction of each quantum it consumes (0..1)
+	Quantum units.Duration // scheduling granularity
+}
+
+// DefaultCoRunner competes on every core at the given load with a 4 ms
+// quantum (the scheduler timeslice used elsewhere in the model).
+func DefaultCoRunner(h *Host, load float64) CoRunner {
+	cores := make([]int, h.CPU.Cores)
+	for i := range cores {
+		cores[i] = i
+	}
+	return CoRunner{Cores: cores, Load: load, Quantum: 4 * units.Millisecond}
+}
+
+// Occupy reserves the co-runner's CPU share over [0, horizon). Call it
+// after ResetTimers and before running the measured application; the
+// horizon must cover the run (occupancy past the end is harmless).
+func (c CoRunner) Occupy(h *Host, horizon units.Duration) {
+	if c.Load <= 0 || c.Quantum <= 0 {
+		return
+	}
+	load := c.Load
+	if load > 1 {
+		load = 1
+	}
+	slice := units.Duration(float64(c.Quantum) * load)
+	for _, core := range c.Cores {
+		r := h.Cores.Member(core)
+		for t := units.Time(0); t < units.Time(horizon); t = t.Add(c.Quantum) {
+			r.Acquire(t, slice)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package host
+
+// ParseCosts is the calibrated cost model for host-side object
+// deserialization, the quantity §II profiles in detail. The paper's
+// profile of parsing ASCII integers found that only ~15% of CPU time is
+// the actual string-to-binary conversion; the rest is file-system
+// operations, locking, POSIX guarantees and buffer management. Stripping
+// those overheads sped parsing up by ~6.6x, and the remaining conversion
+// loop ran at an IPC of only 1.2 on a 4-wide out-of-order core.
+//
+// The model therefore charges, per input byte,
+//
+//	convert cycles x OSOverheadFactor
+//
+// where the conversion cost depends on the token class (integer vs
+// floating point text) and the overhead factor is per-application (apps
+// with many small reads or heavy locking sit above the average).
+type ParseCosts struct {
+	// ConvertCPBInt is the conversion-only cycles per input byte for
+	// integer tokens (digit scanning + accumulate at IPC 1.2).
+	ConvertCPBInt float64
+	// ConvertCPBFloat is the conversion-only cycles per input byte for
+	// floating-point tokens (strtod-class work; the host has an FPU).
+	ConvertCPBFloat float64
+	// OSOverheadFactor multiplies conversion cost into the full
+	// conventional-path cost (1/0.15 ≈ 6.6 on average).
+	OSOverheadFactor float64
+	// ObjectWriteCPB is the cycles per *object* byte to store the
+	// deserialized values into the destination arrays.
+	ObjectWriteCPB float64
+	// IPC is the achieved instructions-per-cycle of the conversion loop,
+	// reported by the profiling experiment (E4).
+	IPC float64
+}
+
+// DefaultParseCosts matches the paper's §II profile.
+func DefaultParseCosts() ParseCosts {
+	return ParseCosts{
+		ConvertCPBInt:    1.5,
+		ConvertCPBFloat:  3.2,
+		OSOverheadFactor: 6.6,
+		ObjectWriteCPB:   0.25,
+		IPC:              1.2,
+	}
+}
+
+// CyclesPerInputByte returns the full conventional-path parse cost per
+// input byte for a token mix with the given fraction of float-text bytes.
+func (p ParseCosts) CyclesPerInputByte(floatFrac float64) float64 {
+	conv := p.ConvertCPBInt*(1-floatFrac) + p.ConvertCPBFloat*floatFrac
+	return conv * p.OSOverheadFactor
+}
+
+// ConvertCyclesPerInputByte returns the conversion-only cost per input
+// byte (the stripped-overhead path of experiment E4).
+func (p ParseCosts) ConvertCyclesPerInputByte(floatFrac float64) float64 {
+	return p.ConvertCPBInt*(1-floatFrac) + p.ConvertCPBFloat*floatFrac
+}

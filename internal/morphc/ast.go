@@ -1,0 +1,239 @@
+package morphc
+
+// Type is a MorphC value type.
+type Type int
+
+// Types. Char values are stored in int64 slots; Stream is the opaque
+// ms_stream handle.
+const (
+	TypeInvalid Type = iota
+	TypeVoid
+	TypeInt
+	TypeFloat
+	TypeChar
+	TypeStream
+)
+
+// String names the type as written in source.
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeChar:
+		return "char"
+	case TypeStream:
+		return "ms_stream"
+	default:
+		return "invalid"
+	}
+}
+
+// numeric reports whether the type participates in arithmetic.
+func (t Type) numeric() bool { return t == TypeInt || t == TypeFloat || t == TypeChar }
+
+// File is a parsed MorphC translation unit.
+type File struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// StorageApps returns the functions declared with the StorageApp keyword.
+func (f *File) StorageApps() []*FuncDecl {
+	var out []*FuncDecl
+	for _, fn := range f.Funcs {
+		if fn.IsStorageApp {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl declares a function, possibly a StorageApp entry point.
+type FuncDecl struct {
+	Name         string
+	Params       []Param
+	Ret          Type
+	Body         *Block
+	IsStorageApp bool
+	Line         int
+}
+
+// VarDecl declares a scalar or array variable. ArrayLen is 0 for scalars.
+type VarDecl struct {
+	Name     string
+	Type     Type
+	ArrayLen int
+	Init     Expr
+	Line     int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Block is a { ... } statement list with its own scope.
+type Block struct{ Stmts []Stmt }
+
+// DeclStmt declares a local variable.
+type DeclStmt struct{ Decl *VarDecl }
+
+// AssignStmt assigns to a variable or array element. Op is "=" or a
+// compound operator like "+=".
+type AssignStmt struct {
+	Target Expr // *Ident or *IndexExpr
+	Op     string
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // nil if absent; else-if chains nest via single-stmt blocks
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+}
+
+// ForStmt is a C-style for loop. Init and Post may be nil.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr // nil means true
+	Post Stmt
+	Body *Block
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Value Expr // nil for void
+	Line  int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ X Expr }
+
+func (*Block) stmt()        {}
+func (*DeclStmt) stmt()     {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ExprStmt) stmt()     {}
+
+// Expr is an expression node. The checker fills in the type.
+type Expr interface {
+	expr()
+	ExprType() Type
+}
+
+type typed struct{ T Type }
+
+func (t *typed) ExprType() Type { return t.T }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	typed
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	typed
+	Value float64
+}
+
+// CharLit is a character literal.
+type CharLit struct {
+	typed
+	Value byte
+}
+
+// StringLit appears only as a format argument to library builtins.
+type StringLit struct {
+	typed
+	Value string
+}
+
+// Ident references a variable.
+type Ident struct {
+	typed
+	Name string
+	Line int
+	// Resolved by the checker:
+	sym *symbol
+}
+
+// IndexExpr is arr[i].
+type IndexExpr struct {
+	typed
+	Arr   *Ident
+	Index Expr
+	Line  int
+}
+
+// CallExpr calls a user function or a device-library builtin.
+type CallExpr struct {
+	typed
+	Name string
+	Args []Expr
+	Line int
+	// Resolved by the checker:
+	fn      *FuncDecl
+	builtin string // non-empty for library calls
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	typed
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnaryExpr is -x, !x, ~x, or &x (address-of, only as a scanf argument).
+type UnaryExpr struct {
+	typed
+	Op   string
+	X    Expr
+	Line int
+}
+
+// CastExpr is (int)x or (float)x.
+type CastExpr struct {
+	typed
+	To Type
+	X  Expr
+}
+
+func (*IntLit) expr()     {}
+func (*FloatLit) expr()   {}
+func (*CharLit) expr()    {}
+func (*StringLit) expr()  {}
+func (*Ident) expr()      {}
+func (*IndexExpr) expr()  {}
+func (*CallExpr) expr()   {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}
+func (*CastExpr) expr()   {}

@@ -1,0 +1,696 @@
+package morphc
+
+import "fmt"
+
+// symKind classifies a resolved symbol.
+type symKind int
+
+const (
+	symGlobal symKind = iota // global scalar: MVM global slot
+	symLocal                 // local scalar or parameter: frame slot
+	symArray                 // global or local array: static D-SRAM region
+)
+
+type symbol struct {
+	name     string
+	typ      Type
+	kind     symKind
+	arrayLen int
+	slot     int // frame slot (symLocal) or global index (symGlobal)
+	sramOff  int // byte offset of the array (symArray)
+	elemSize int
+}
+
+// program is the checked form handed to codegen.
+type program struct {
+	file       *File
+	app        *FuncDecl
+	funcs      map[string]*FuncDecl
+	syms       map[*Ident]*symbol      // resolved identifier uses
+	fnLocals   map[*FuncDecl][]*symbol // declaration order, params first
+	declSyms   map[*VarDecl]*symbol
+	numGlobals int
+	sramStatic int
+}
+
+// maxLocals mirrors mvm.NumLocals, minus slots the code generator reserves
+// as scratch registers for ms_scanf lowering.
+const maxLocals = 60
+
+// builtinSig describes a device-library routine.
+type builtinSig struct {
+	params []Type // TypeInvalid entries are handled specially (varargs)
+	ret    Type
+}
+
+var builtins = map[string]builtinSig{
+	"ms_scanf":     {ret: TypeInt},  // (stream, fmt, &var) — special-cased
+	"ms_printf":    {ret: TypeVoid}, // (fmt, args...) — special-cased
+	"ms_read_byte": {params: []Type{TypeStream}, ret: TypeInt},
+	"ms_peek_byte": {params: []Type{TypeStream}, ret: TypeInt},
+	"ms_eof":       {params: []Type{TypeStream}, ret: TypeInt},
+	"ms_emit_i32":  {params: []Type{TypeInt}, ret: TypeVoid},
+	"ms_emit_i64":  {params: []Type{TypeInt}, ret: TypeVoid},
+	"ms_emit_f32":  {params: []Type{TypeFloat}, ret: TypeVoid},
+	"ms_emit_f64":  {params: []Type{TypeFloat}, ret: TypeVoid},
+	"ms_emit_byte": {params: []Type{TypeInt}, ret: TypeVoid},
+	"ms_memcpy":    {ret: TypeVoid}, // flush the output buffer to the DMA target
+	"ms_arg":       {params: []Type{TypeInt}, ret: TypeInt},
+	"ms_argc":      {ret: TypeInt},
+	"ms_out_len":   {ret: TypeInt},
+}
+
+type checker struct {
+	prog   *program
+	scopes []map[string]*symbol
+	fn     *FuncDecl
+	loops  int
+}
+
+// check resolves names, assigns storage, and types every expression.
+// appName selects which StorageApp is the entry point ("" = the only one).
+func check(f *File, appName string) (*program, error) {
+	prog := &program{
+		file:     f,
+		funcs:    make(map[string]*FuncDecl),
+		syms:     make(map[*Ident]*symbol),
+		fnLocals: make(map[*FuncDecl][]*symbol),
+		declSyms: make(map[*VarDecl]*symbol),
+	}
+	apps := f.StorageApps()
+	switch {
+	case len(apps) == 0:
+		return nil, fmt.Errorf("morphc: no StorageApp declared")
+	case appName == "" && len(apps) > 1:
+		return nil, fmt.Errorf("morphc: %d StorageApps declared; select one by name", len(apps))
+	case appName == "":
+		prog.app = apps[0]
+	default:
+		for _, a := range apps {
+			if a.Name == appName {
+				prog.app = a
+			}
+		}
+		if prog.app == nil {
+			return nil, fmt.Errorf("morphc: StorageApp %q not found", appName)
+		}
+	}
+	for _, fn := range f.Funcs {
+		if _, dup := prog.funcs[fn.Name]; dup {
+			return nil, errf(fn.Line, 1, "duplicate function %q", fn.Name)
+		}
+		if _, isBuiltin := builtins[fn.Name]; isBuiltin {
+			return nil, errf(fn.Line, 1, "function %q shadows a device-library routine", fn.Name)
+		}
+		prog.funcs[fn.Name] = fn
+	}
+	c := &checker{prog: prog}
+	c.pushScope()
+	for _, g := range f.Globals {
+		if _, err := c.declare(g, true); err != nil {
+			return nil, err
+		}
+		if g.Init != nil {
+			return nil, errf(g.Line, 1, "global initializers are not supported (set them in the StorageApp)")
+		}
+	}
+	// Validate the StorageApp signature: the paper's model passes an
+	// ms_stream plus host arguments.
+	app := prog.app
+	if app.Ret != TypeInt && app.Ret != TypeVoid {
+		return nil, errf(app.Line, 1, "StorageApp %q must return int or void (the MDEINIT completion carries the value)", app.Name)
+	}
+	for i, p := range app.Params {
+		if i == 0 {
+			if p.Type != TypeStream {
+				return nil, errf(app.Line, 1, "StorageApp %q: first parameter must be ms_stream", app.Name)
+			}
+			continue
+		}
+		if p.Type != TypeInt {
+			return nil, errf(app.Line, 1, "StorageApp %q: host arguments must be int", app.Name)
+		}
+	}
+	if len(app.Params) == 0 {
+		return nil, errf(app.Line, 1, "StorageApp %q must take an ms_stream parameter", app.Name)
+	}
+	for _, fn := range f.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	c.popScope()
+	return prog, nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*symbol)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// declare creates a symbol for a declaration in the current scope and
+// assigns its storage.
+func (c *checker) declare(d *VarDecl, global bool) (*symbol, error) {
+	scope := c.scopes[len(c.scopes)-1]
+	if _, dup := scope[d.Name]; dup {
+		return nil, errf(d.Line, 1, "redeclaration of %q", d.Name)
+	}
+	s := &symbol{name: d.Name, typ: d.Type, arrayLen: d.ArrayLen}
+	switch {
+	case d.ArrayLen > 0:
+		if d.Type == TypeStream {
+			return nil, errf(d.Line, 1, "cannot declare an array of ms_stream")
+		}
+		s.kind = symArray
+		s.elemSize = 8
+		if d.Type == TypeChar {
+			s.elemSize = 1
+		}
+		s.sramOff = c.prog.sramStatic
+		c.prog.sramStatic += d.ArrayLen * s.elemSize
+	case global:
+		s.kind = symGlobal
+		s.slot = c.prog.numGlobals
+		c.prog.numGlobals++
+	default:
+		s.kind = symLocal
+		locals := c.prog.fnLocals[c.fn]
+		s.slot = countScalars(locals)
+		if s.slot >= maxLocals {
+			return nil, errf(d.Line, 1, "function %q exceeds %d local slots", c.fn.Name, maxLocals)
+		}
+		c.prog.fnLocals[c.fn] = append(locals, s)
+	}
+	if s.kind == symArray && !global {
+		c.prog.fnLocals[c.fn] = append(c.prog.fnLocals[c.fn], s)
+	}
+	scope[d.Name] = s
+	c.prog.declSyms[d] = s
+	return s, nil
+}
+
+func countScalars(syms []*symbol) int {
+	n := 0
+	for _, s := range syms {
+		if s.kind == symLocal {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.fn = fn
+	c.pushScope()
+	defer c.popScope()
+	for _, p := range fn.Params {
+		d := &VarDecl{Name: p.Name, Type: p.Type, Line: fn.Line}
+		if _, err := c.declare(d, false); err != nil {
+			return err
+		}
+	}
+	return c.checkBlock(fn.Body)
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return c.checkBlock(st)
+	case *DeclStmt:
+		sym, err := c.declare(st.Decl, false)
+		if err != nil {
+			return err
+		}
+		if st.Decl.Init != nil {
+			if sym.kind == symArray {
+				return errf(st.Decl.Line, 1, "array initializers are not supported")
+			}
+			t, err := c.checkExpr(st.Decl.Init)
+			if err != nil {
+				return err
+			}
+			conv, err := c.convert(st.Decl.Init, t, sym.typ, st.Decl.Line)
+			if err != nil {
+				return err
+			}
+			st.Decl.Init = conv
+		}
+		return nil
+	case *AssignStmt:
+		return c.checkAssign(st)
+	case *IfStmt:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkBlock(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkBlock(st.Body)
+	case *ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkCond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkBlock(st.Body)
+	case *ReturnStmt:
+		if c.fn.Ret == TypeVoid {
+			if st.Value != nil {
+				return errf(st.Line, 1, "void function %q returns a value", c.fn.Name)
+			}
+			return nil
+		}
+		if st.Value == nil {
+			return errf(st.Line, 1, "function %q must return %s", c.fn.Name, c.fn.Ret)
+		}
+		t, err := c.checkExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		conv, err := c.convert(st.Value, t, c.fn.Ret, st.Line)
+		if err != nil {
+			return err
+		}
+		st.Value = conv
+		return nil
+	case *BreakStmt:
+		if c.loops == 0 {
+			return errf(st.Line, 1, "break outside a loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return errf(st.Line, 1, "continue outside a loop")
+		}
+		return nil
+	case *ExprStmt:
+		_, err := c.checkExpr(st.X)
+		return err
+	default:
+		return fmt.Errorf("morphc: unknown statement %T", s)
+	}
+}
+
+func (c *checker) checkCond(e Expr) error {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if !t.numeric() {
+		return fmt.Errorf("morphc: condition must be numeric, got %s", t)
+	}
+	return nil
+}
+
+func (c *checker) checkAssign(st *AssignStmt) error {
+	var targetType Type
+	switch tgt := st.Target.(type) {
+	case *Ident:
+		sym := c.lookup(tgt.Name)
+		if sym == nil {
+			return errf(tgt.Line, 1, "undefined variable %q", tgt.Name)
+		}
+		if sym.kind == symArray {
+			return errf(tgt.Line, 1, "cannot assign to array %q", tgt.Name)
+		}
+		if sym.typ == TypeStream {
+			return errf(tgt.Line, 1, "cannot assign to ms_stream %q", tgt.Name)
+		}
+		c.prog.syms[tgt] = sym
+		tgt.T = sym.typ
+		targetType = sym.typ
+	case *IndexExpr:
+		t, err := c.checkExpr(tgt)
+		if err != nil {
+			return err
+		}
+		targetType = t
+	default:
+		return errf(st.Line, 1, "invalid assignment target")
+	}
+	vt, err := c.checkExpr(st.Value)
+	if err != nil {
+		return err
+	}
+	if st.Op != "=" && !(targetType.numeric() && vt.numeric()) {
+		return errf(st.Line, 1, "compound assignment needs numeric operands")
+	}
+	conv, err := c.convert(st.Value, vt, targetType, st.Line)
+	if err != nil {
+		return err
+	}
+	st.Value = conv
+	return nil
+}
+
+// convert inserts an implicit conversion from `from` to `to` around e.
+// int/char widen to float implicitly; float narrows only via explicit
+// casts.
+func (c *checker) convert(e Expr, from, to Type, line int) (Expr, error) {
+	if from == to || (from == TypeChar && to == TypeInt) || (from == TypeInt && to == TypeChar) {
+		return e, nil
+	}
+	if (from == TypeInt || from == TypeChar) && to == TypeFloat {
+		return &CastExpr{typed: typed{T: TypeFloat}, To: TypeFloat, X: e}, nil
+	}
+	if from == TypeFloat && to == TypeInt {
+		return nil, errf(line, 1, "cannot implicitly convert float to int; use (int)")
+	}
+	return nil, errf(line, 1, "cannot convert %s to %s", from, to)
+}
+
+func (c *checker) checkExpr(e Expr) (Type, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		ex.T = TypeInt
+	case *FloatLit:
+		ex.T = TypeFloat
+	case *CharLit:
+		ex.T = TypeChar
+	case *StringLit:
+		return TypeInvalid, fmt.Errorf("morphc: string literals may only appear as library format arguments")
+	case *Ident:
+		sym := c.lookup(ex.Name)
+		if sym == nil {
+			return TypeInvalid, errf(ex.Line, 1, "undefined variable %q", ex.Name)
+		}
+		if sym.kind == symArray {
+			return TypeInvalid, errf(ex.Line, 1, "array %q used without index", ex.Name)
+		}
+		c.prog.syms[ex] = sym
+		ex.T = sym.typ
+	case *IndexExpr:
+		sym := c.lookup(ex.Arr.Name)
+		if sym == nil {
+			return TypeInvalid, errf(ex.Line, 1, "undefined variable %q", ex.Arr.Name)
+		}
+		if sym.kind != symArray {
+			return TypeInvalid, errf(ex.Line, 1, "%q is not an array", ex.Arr.Name)
+		}
+		c.prog.syms[ex.Arr] = sym
+		ex.Arr.T = sym.typ
+		it, err := c.checkExpr(ex.Index)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		if it != TypeInt && it != TypeChar {
+			return TypeInvalid, errf(ex.Line, 1, "array index must be int, got %s", it)
+		}
+		ex.T = sym.typ
+	case *CallExpr:
+		return c.checkCall(ex)
+	case *BinaryExpr:
+		return c.checkBinary(ex)
+	case *UnaryExpr:
+		switch ex.Op {
+		case "&":
+			return TypeInvalid, errf(ex.Line, 1, "address-of is only valid as an ms_scanf argument")
+		case "-":
+			t, err := c.checkExpr(ex.X)
+			if err != nil {
+				return TypeInvalid, err
+			}
+			if !t.numeric() {
+				return TypeInvalid, errf(ex.Line, 1, "operand of - must be numeric")
+			}
+			if t == TypeChar {
+				t = TypeInt
+			}
+			ex.T = t
+		case "!", "~":
+			t, err := c.checkExpr(ex.X)
+			if err != nil {
+				return TypeInvalid, err
+			}
+			if t == TypeFloat && ex.Op == "~" {
+				return TypeInvalid, errf(ex.Line, 1, "operand of ~ must be integral")
+			}
+			if !t.numeric() {
+				return TypeInvalid, errf(ex.Line, 1, "operand of %s must be numeric", ex.Op)
+			}
+			ex.T = TypeInt
+		}
+	case *CastExpr:
+		t, err := c.checkExpr(ex.X)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		if !t.numeric() || !ex.To.numeric() {
+			return TypeInvalid, fmt.Errorf("morphc: invalid cast from %s to %s", t, ex.To)
+		}
+		ex.T = ex.To
+	default:
+		return TypeInvalid, fmt.Errorf("morphc: unknown expression %T", e)
+	}
+	return e.ExprType(), nil
+}
+
+func (c *checker) checkBinary(ex *BinaryExpr) (Type, error) {
+	lt, err := c.checkExpr(ex.L)
+	if err != nil {
+		return TypeInvalid, err
+	}
+	rt, err := c.checkExpr(ex.R)
+	if err != nil {
+		return TypeInvalid, err
+	}
+	if !lt.numeric() || !rt.numeric() {
+		return TypeInvalid, errf(ex.Line, 1, "operands of %s must be numeric (got %s, %s)", ex.Op, lt, rt)
+	}
+	switch ex.Op {
+	case "%", "&", "|", "^", "<<", ">>", "&&", "||":
+		if lt == TypeFloat || rt == TypeFloat {
+			return TypeInvalid, errf(ex.Line, 1, "operands of %s must be integral", ex.Op)
+		}
+		ex.T = TypeInt
+		return TypeInt, nil
+	}
+	// Arithmetic promotion: float wins.
+	if lt == TypeFloat || rt == TypeFloat {
+		if lt != TypeFloat {
+			ex.L = &CastExpr{typed: typed{T: TypeFloat}, To: TypeFloat, X: ex.L}
+		}
+		if rt != TypeFloat {
+			ex.R = &CastExpr{typed: typed{T: TypeFloat}, To: TypeFloat, X: ex.R}
+		}
+		switch ex.Op {
+		case "==", "!=", "<", "<=", ">", ">=":
+			ex.T = TypeInt
+		default:
+			ex.T = TypeFloat
+		}
+		return ex.T, nil
+	}
+	switch ex.Op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		ex.T = TypeInt
+	default:
+		ex.T = TypeInt
+	}
+	return ex.T, nil
+}
+
+func (c *checker) checkCall(ex *CallExpr) (Type, error) {
+	if sig, ok := builtins[ex.Name]; ok {
+		ex.builtin = ex.Name
+		return c.checkBuiltin(ex, sig)
+	}
+	fn, ok := c.prog.funcs[ex.Name]
+	if !ok {
+		return TypeInvalid, errf(ex.Line, 1, "undefined function %q", ex.Name)
+	}
+	if fn.IsStorageApp {
+		return TypeInvalid, errf(ex.Line, 1, "a StorageApp cannot be called from device code; it is invoked by the host")
+	}
+	ex.fn = fn
+	if len(ex.Args) != len(fn.Params) {
+		return TypeInvalid, errf(ex.Line, 1, "%q expects %d arguments, got %d", ex.Name, len(fn.Params), len(ex.Args))
+	}
+	for i, a := range ex.Args {
+		t, err := c.checkExpr(a)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		conv, err := c.convert(a, t, fn.Params[i].Type, ex.Line)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		ex.Args[i] = conv
+	}
+	ex.T = fn.Ret
+	return fn.Ret, nil
+}
+
+func (c *checker) checkBuiltin(ex *CallExpr, sig builtinSig) (Type, error) {
+	switch ex.Name {
+	case "ms_scanf":
+		// ms_scanf(stream, "%d"|"%f", &var)
+		if len(ex.Args) != 3 {
+			return TypeInvalid, errf(ex.Line, 1, "ms_scanf(stream, fmt, &var) expects 3 arguments")
+		}
+		if t, err := c.checkExpr(ex.Args[0]); err != nil {
+			return TypeInvalid, err
+		} else if t != TypeStream {
+			return TypeInvalid, errf(ex.Line, 1, "ms_scanf: first argument must be an ms_stream")
+		}
+		fmtArg, ok := ex.Args[1].(*StringLit)
+		if !ok || (fmtArg.Value != "%d" && fmtArg.Value != "%f") {
+			return TypeInvalid, errf(ex.Line, 1, `ms_scanf: format must be "%%d" or "%%f"`)
+		}
+		fmtArg.T = TypeVoid
+		ref, ok := ex.Args[2].(*UnaryExpr)
+		if !ok || ref.Op != "&" {
+			return TypeInvalid, errf(ex.Line, 1, "ms_scanf: third argument must be &variable")
+		}
+		var destType Type
+		switch dst := ref.X.(type) {
+		case *Ident:
+			sym := c.lookup(dst.Name)
+			if sym == nil {
+				return TypeInvalid, errf(ex.Line, 1, "undefined variable %q", dst.Name)
+			}
+			if sym.kind == symArray {
+				return TypeInvalid, errf(ex.Line, 1, "ms_scanf: cannot scan into a whole array")
+			}
+			c.prog.syms[dst] = sym
+			dst.T = sym.typ
+			destType = sym.typ
+		case *IndexExpr:
+			t, err := c.checkExpr(dst)
+			if err != nil {
+				return TypeInvalid, err
+			}
+			destType = t
+		default:
+			return TypeInvalid, errf(ex.Line, 1, "ms_scanf: third argument must be &variable or &array[i]")
+		}
+		want := TypeInt
+		if fmtArg.Value == "%f" {
+			want = TypeFloat
+		}
+		if destType != want && !(destType == TypeChar && want == TypeInt) {
+			return TypeInvalid, errf(ex.Line, 1, "ms_scanf: %s destination for %q", destType, fmtArg.Value)
+		}
+		ref.T = TypeVoid
+		ex.T = TypeInt
+		return TypeInt, nil
+	case "ms_printf":
+		if len(ex.Args) < 1 {
+			return TypeInvalid, errf(ex.Line, 1, "ms_printf needs a format string")
+		}
+		fmtArg, ok := ex.Args[0].(*StringLit)
+		if !ok {
+			return TypeInvalid, errf(ex.Line, 1, "ms_printf: format must be a string literal")
+		}
+		fmtArg.T = TypeVoid
+		need, err := printfArgTypes(fmtArg.Value, ex.Line)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		if len(ex.Args)-1 != len(need) {
+			return TypeInvalid, errf(ex.Line, 1, "ms_printf: format needs %d arguments, got %d", len(need), len(ex.Args)-1)
+		}
+		for i, want := range need {
+			t, err := c.checkExpr(ex.Args[i+1])
+			if err != nil {
+				return TypeInvalid, err
+			}
+			conv, err := c.convert(ex.Args[i+1], t, want, ex.Line)
+			if err != nil {
+				return TypeInvalid, err
+			}
+			ex.Args[i+1] = conv
+		}
+		ex.T = TypeVoid
+		return TypeVoid, nil
+	}
+	if len(ex.Args) != len(sig.params) {
+		return TypeInvalid, errf(ex.Line, 1, "%s expects %d arguments, got %d", ex.Name, len(sig.params), len(ex.Args))
+	}
+	for i, want := range sig.params {
+		t, err := c.checkExpr(ex.Args[i])
+		if err != nil {
+			return TypeInvalid, err
+		}
+		if want == TypeStream {
+			if t != TypeStream {
+				return TypeInvalid, errf(ex.Line, 1, "%s: argument %d must be an ms_stream", ex.Name, i+1)
+			}
+			continue
+		}
+		conv, err := c.convert(ex.Args[i], t, want, ex.Line)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		ex.Args[i] = conv
+	}
+	ex.T = sig.ret
+	return sig.ret, nil
+}
+
+// printfArgTypes parses a printf format and returns the argument types %d
+// and %c require.
+func printfArgTypes(f string, line int) ([]Type, error) {
+	var out []Type
+	for i := 0; i < len(f); i++ {
+		if f[i] != '%' {
+			continue
+		}
+		if i+1 >= len(f) {
+			return nil, errf(line, 1, "ms_printf: trailing %% in format")
+		}
+		switch f[i+1] {
+		case 'd':
+			out = append(out, TypeInt)
+		case 'c':
+			out = append(out, TypeInt)
+		case '%':
+		default:
+			return nil, errf(line, 1, "ms_printf: unsupported verb %%%c (the device library formats %%d, %%c, %%%%)", f[i+1])
+		}
+		i++
+	}
+	return out, nil
+}

@@ -1,0 +1,669 @@
+package morphc
+
+import (
+	"fmt"
+	"math"
+
+	"morpheus/internal/mvm"
+)
+
+// Compile compiles MorphC source into an MVM program image at the default
+// optimization level (O1). appName picks the StorageApp entry point when
+// the source declares several; pass "" if there is exactly one. The
+// generated image is what the host runtime ships to the Morpheus-SSD in
+// the MINIT command.
+func Compile(src, appName string) (*mvm.Program, error) {
+	return CompileWithOptions(src, appName, O1)
+}
+
+// Scratch slots reserved at the top of every frame for ms_scanf lowering.
+const (
+	scratchValue = mvm.NumLocals - 1
+	scratchOK    = mvm.NumLocals - 2
+)
+
+type codegen struct {
+	prog    *program
+	code    []mvm.Instr
+	fnStart map[*FuncDecl]int
+	fixups  []fixup // call sites patched after all functions are placed
+
+	fn         *FuncDecl
+	breakFix   [][]int // per-loop: instruction indices jumping to loop end
+	continueTo []int   // per-loop: continue target pc
+	contFix    [][]int // per-loop: forward fixups for continue (for-loops)
+}
+
+type fixup struct {
+	at int
+	fn *FuncDecl
+}
+
+func (g *codegen) emit(op mvm.Op, arg int64) int {
+	g.code = append(g.code, mvm.Instr{Op: op, Arg: arg})
+	return len(g.code) - 1
+}
+
+func (g *codegen) here() int { return len(g.code) }
+
+func (g *codegen) generate() (*mvm.Program, error) {
+	// The StorageApp is placed first so execution starts at pc 0.
+	ordered := []*FuncDecl{g.prog.app}
+	for _, fn := range g.prog.file.Funcs {
+		if fn != g.prog.app {
+			ordered = append(ordered, fn)
+		}
+	}
+	for _, fn := range ordered {
+		g.fnStart[fn] = g.here()
+		if err := g.genFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	for _, fx := range g.fixups {
+		g.code[fx.at].Arg = int64(g.fnStart[fx.fn])
+	}
+	return &mvm.Program{
+		Code:       g.code,
+		NumGlobals: g.prog.numGlobals,
+		SRAMStatic: g.prog.sramStatic,
+		Name:       g.prog.app.Name,
+	}, nil
+}
+
+func (g *codegen) genFunc(fn *FuncDecl) error {
+	g.fn = fn
+	locals := g.prog.fnLocals[fn]
+	slotOf := func(name string) (int, bool) {
+		for _, s := range locals {
+			if s.name == name && s.kind == symLocal {
+				return s.slot, true
+			}
+		}
+		return 0, false
+	}
+	if fn.IsStorageApp {
+		// Prologue: host arguments arrive via the MINIT argument block,
+		// fetched with the arg builtin; the stream parameter is phantom
+		// (the device has exactly one input stream per instance).
+		for i, p := range fn.Params {
+			slot, ok := slotOf(p.Name)
+			if !ok {
+				return fmt.Errorf("morphc: internal: missing slot for parameter %q", p.Name)
+			}
+			if i == 0 {
+				g.emit(mvm.OpPush, 0)
+				g.emit(mvm.OpStore, int64(slot))
+				continue
+			}
+			g.emit(mvm.OpPush, int64(i-1))
+			g.emit(mvm.OpSys, int64(mvm.SysArg))
+			g.emit(mvm.OpStore, int64(slot))
+		}
+	} else {
+		// Normal calling convention: arguments were pushed left-to-right,
+		// so pop them into slots right-to-left.
+		for i := len(fn.Params) - 1; i >= 0; i-- {
+			slot, ok := slotOf(fn.Params[i].Name)
+			if !ok {
+				return fmt.Errorf("morphc: internal: missing slot for parameter %q", fn.Params[i].Name)
+			}
+			g.emit(mvm.OpStore, int64(slot))
+		}
+	}
+	if err := g.genBlock(fn.Body); err != nil {
+		return err
+	}
+	// Implicit return if control can fall off the end.
+	if fn.Ret != TypeVoid {
+		g.emit(mvm.OpPush, 0)
+	}
+	g.emit(mvm.OpRet, 0)
+	return nil
+}
+
+func (g *codegen) genBlock(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return g.genBlock(st)
+	case *DeclStmt:
+		sym := g.prog.declSyms[st.Decl]
+		if st.Decl.Init != nil && sym.kind == symLocal {
+			if err := g.genExpr(st.Decl.Init); err != nil {
+				return err
+			}
+			g.emit(mvm.OpStore, int64(sym.slot))
+		}
+		return nil
+	case *AssignStmt:
+		return g.genAssign(st)
+	case *IfStmt:
+		if err := g.genExpr(st.Cond); err != nil {
+			return err
+		}
+		jz := g.emit(mvm.OpJz, 0)
+		if err := g.genBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			jmp := g.emit(mvm.OpJmp, 0)
+			g.code[jz].Arg = int64(g.here())
+			if err := g.genBlock(st.Else); err != nil {
+				return err
+			}
+			g.code[jmp].Arg = int64(g.here())
+		} else {
+			g.code[jz].Arg = int64(g.here())
+		}
+		return nil
+	case *WhileStmt:
+		top := g.here()
+		if err := g.genExpr(st.Cond); err != nil {
+			return err
+		}
+		jz := g.emit(mvm.OpJz, 0)
+		g.pushLoop(top)
+		if err := g.genBlock(st.Body); err != nil {
+			return err
+		}
+		g.emit(mvm.OpJmp, int64(top))
+		end := g.here()
+		g.code[jz].Arg = int64(end)
+		g.popLoop(end, top)
+		return nil
+	case *ForStmt:
+		if st.Init != nil {
+			if err := g.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		top := g.here()
+		var jz int = -1
+		if st.Cond != nil {
+			if err := g.genExpr(st.Cond); err != nil {
+				return err
+			}
+			jz = g.emit(mvm.OpJz, 0)
+		}
+		g.pushLoop(-1) // continue target is the post statement, fixed up below
+		if err := g.genBlock(st.Body); err != nil {
+			return err
+		}
+		postAt := g.here()
+		if st.Post != nil {
+			if err := g.genStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		g.emit(mvm.OpJmp, int64(top))
+		end := g.here()
+		if jz >= 0 {
+			g.code[jz].Arg = int64(end)
+		}
+		g.popLoop(end, postAt)
+		return nil
+	case *ReturnStmt:
+		if st.Value != nil {
+			if err := g.genExpr(st.Value); err != nil {
+				return err
+			}
+		} else if g.fn.Ret != TypeVoid {
+			g.emit(mvm.OpPush, 0)
+		}
+		g.emit(mvm.OpRet, 0)
+		return nil
+	case *BreakStmt:
+		i := g.emit(mvm.OpJmp, 0)
+		n := len(g.breakFix) - 1
+		g.breakFix[n] = append(g.breakFix[n], i)
+		return nil
+	case *ContinueStmt:
+		n := len(g.continueTo) - 1
+		if g.continueTo[n] >= 0 {
+			g.emit(mvm.OpJmp, int64(g.continueTo[n]))
+		} else {
+			i := g.emit(mvm.OpJmp, 0)
+			g.contFix[n] = append(g.contFix[n], i)
+		}
+		return nil
+	case *ExprStmt:
+		if err := g.genExpr(st.X); err != nil {
+			return err
+		}
+		if st.X.ExprType() != TypeVoid {
+			g.emit(mvm.OpPop, 0)
+		}
+		return nil
+	default:
+		return fmt.Errorf("morphc: internal: unknown statement %T", s)
+	}
+}
+
+func (g *codegen) pushLoop(continueTarget int) {
+	g.breakFix = append(g.breakFix, nil)
+	g.continueTo = append(g.continueTo, continueTarget)
+	g.contFix = append(g.contFix, nil)
+}
+
+func (g *codegen) popLoop(end, continueTarget int) {
+	n := len(g.breakFix) - 1
+	for _, i := range g.breakFix[n] {
+		g.code[i].Arg = int64(end)
+	}
+	for _, i := range g.contFix[n] {
+		g.code[i].Arg = int64(continueTarget)
+	}
+	g.breakFix = g.breakFix[:n]
+	g.continueTo = g.continueTo[:n]
+	g.contFix = g.contFix[:n]
+}
+
+func (g *codegen) genAssign(st *AssignStmt) error {
+	switch tgt := st.Target.(type) {
+	case *Ident:
+		sym := g.prog.syms[tgt]
+		if st.Op != "=" {
+			g.loadScalar(sym)
+			if err := g.genExpr(st.Value); err != nil {
+				return err
+			}
+			g.emitArith(compoundOp(st.Op), sym.typ)
+		} else {
+			if err := g.genExpr(st.Value); err != nil {
+				return err
+			}
+		}
+		g.storeScalar(sym)
+		return nil
+	case *IndexExpr:
+		sym := g.prog.syms[tgt.Arr]
+		if err := g.genElemAddr(sym, tgt.Index); err != nil {
+			return err
+		}
+		if st.Op != "=" {
+			g.emit(mvm.OpDup, 0)
+			g.emitLoadElem(sym)
+			if err := g.genExpr(st.Value); err != nil {
+				return err
+			}
+			g.emitArith(compoundOp(st.Op), sym.typ)
+		} else {
+			if err := g.genExpr(st.Value); err != nil {
+				return err
+			}
+		}
+		g.emitStoreElem(sym)
+		return nil
+	default:
+		return fmt.Errorf("morphc: internal: bad assignment target %T", st.Target)
+	}
+}
+
+func compoundOp(op string) string { return op[:1] } // "+=" -> "+"
+
+func (g *codegen) loadScalar(sym *symbol) {
+	if sym.kind == symGlobal {
+		g.emit(mvm.OpGLoad, int64(sym.slot))
+	} else {
+		g.emit(mvm.OpLoad, int64(sym.slot))
+	}
+}
+
+func (g *codegen) storeScalar(sym *symbol) {
+	if sym.kind == symGlobal {
+		g.emit(mvm.OpGStore, int64(sym.slot))
+	} else {
+		g.emit(mvm.OpStore, int64(sym.slot))
+	}
+}
+
+// genElemAddr pushes the D-SRAM byte address of sym[index].
+func (g *codegen) genElemAddr(sym *symbol, index Expr) error {
+	g.emit(mvm.OpPush, int64(sym.sramOff))
+	if err := g.genExpr(index); err != nil {
+		return err
+	}
+	if sym.elemSize != 1 {
+		g.emit(mvm.OpPush, int64(sym.elemSize))
+		g.emit(mvm.OpMul, 0)
+	}
+	g.emit(mvm.OpAdd, 0)
+	return nil
+}
+
+func (g *codegen) emitLoadElem(sym *symbol) {
+	if sym.elemSize == 1 {
+		g.emit(mvm.OpLd8, 0)
+	} else {
+		g.emit(mvm.OpLd64, 0)
+	}
+}
+
+func (g *codegen) emitStoreElem(sym *symbol) {
+	if sym.elemSize == 1 {
+		g.emit(mvm.OpSt8, 0)
+	} else {
+		g.emit(mvm.OpSt64, 0)
+	}
+}
+
+// emitArith emits the operator for operands already on the stack, using
+// float opcodes when the static type is float.
+func (g *codegen) emitArith(op string, t Type) {
+	isF := t == TypeFloat
+	switch op {
+	case "+":
+		g.emitOp(mvm.OpAdd, mvm.OpFAdd, isF)
+	case "-":
+		g.emitOp(mvm.OpSub, mvm.OpFSub, isF)
+	case "*":
+		g.emitOp(mvm.OpMul, mvm.OpFMul, isF)
+	case "/":
+		g.emitOp(mvm.OpDiv, mvm.OpFDiv, isF)
+	case "%":
+		g.emit(mvm.OpMod, 0)
+	}
+}
+
+func (g *codegen) emitOp(i, f mvm.Op, isFloat bool) {
+	if isFloat {
+		g.emit(f, 0)
+	} else {
+		g.emit(i, 0)
+	}
+}
+
+func (g *codegen) genExpr(e Expr) error {
+	switch ex := e.(type) {
+	case *IntLit:
+		g.emit(mvm.OpPush, ex.Value)
+	case *FloatLit:
+		g.emit(mvm.OpPush, int64(math.Float64bits(ex.Value)))
+	case *CharLit:
+		g.emit(mvm.OpPush, int64(ex.Value))
+	case *Ident:
+		g.loadScalar(g.prog.syms[ex])
+	case *IndexExpr:
+		sym := g.prog.syms[ex.Arr]
+		if err := g.genElemAddr(sym, ex.Index); err != nil {
+			return err
+		}
+		g.emitLoadElem(sym)
+	case *CallExpr:
+		return g.genCall(ex)
+	case *BinaryExpr:
+		return g.genBinary(ex)
+	case *UnaryExpr:
+		switch ex.Op {
+		case "-":
+			if err := g.genExpr(ex.X); err != nil {
+				return err
+			}
+			g.emitOp(mvm.OpNeg, mvm.OpFNeg, ex.T == TypeFloat)
+		case "!":
+			if err := g.genExpr(ex.X); err != nil {
+				return err
+			}
+			if ex.X.ExprType() == TypeFloat {
+				g.emit(mvm.OpPush, int64(math.Float64bits(0)))
+				g.emit(mvm.OpFEq, 0)
+			} else {
+				g.emit(mvm.OpNot, 0)
+			}
+		case "~":
+			if err := g.genExpr(ex.X); err != nil {
+				return err
+			}
+			g.emit(mvm.OpPush, -1)
+			g.emit(mvm.OpXor, 0)
+		default:
+			return fmt.Errorf("morphc: internal: unary %q escaped the checker", ex.Op)
+		}
+	case *CastExpr:
+		if err := g.genExpr(ex.X); err != nil {
+			return err
+		}
+		from := ex.X.ExprType()
+		switch {
+		case from == TypeFloat && ex.To != TypeFloat:
+			g.emit(mvm.OpF2I, 0)
+		case from != TypeFloat && ex.To == TypeFloat:
+			g.emit(mvm.OpI2F, 0)
+		}
+		if ex.To == TypeChar && from != TypeChar {
+			g.emit(mvm.OpPush, 0xFF)
+			g.emit(mvm.OpAnd, 0)
+		}
+	default:
+		return fmt.Errorf("morphc: internal: unknown expression %T", e)
+	}
+	return nil
+}
+
+func (g *codegen) genBinary(ex *BinaryExpr) error {
+	switch ex.Op {
+	case "&&", "||":
+		return g.genLogical(ex)
+	}
+	if err := g.genExpr(ex.L); err != nil {
+		return err
+	}
+	if err := g.genExpr(ex.R); err != nil {
+		return err
+	}
+	isF := ex.L.ExprType() == TypeFloat
+	switch ex.Op {
+	case "+", "-", "*", "/", "%":
+		g.emitArith(ex.Op, ex.L.ExprType())
+	case "&":
+		g.emit(mvm.OpAnd, 0)
+	case "|":
+		g.emit(mvm.OpOr, 0)
+	case "^":
+		g.emit(mvm.OpXor, 0)
+	case "<<":
+		g.emit(mvm.OpShl, 0)
+	case ">>":
+		g.emit(mvm.OpShr, 0)
+	case "==":
+		if isF {
+			g.emit(mvm.OpFEq, 0)
+		} else {
+			g.emit(mvm.OpEq, 0)
+		}
+	case "!=":
+		if isF {
+			g.emit(mvm.OpFEq, 0)
+			g.emit(mvm.OpNot, 0)
+		} else {
+			g.emit(mvm.OpNe, 0)
+		}
+	case "<":
+		g.emitOp(mvm.OpLt, mvm.OpFLt, isF)
+	case "<=":
+		g.emitOp(mvm.OpLe, mvm.OpFLe, isF)
+	case ">":
+		if isF {
+			g.emit(mvm.OpSwap, 0)
+			g.emit(mvm.OpFLt, 0)
+		} else {
+			g.emit(mvm.OpGt, 0)
+		}
+	case ">=":
+		if isF {
+			g.emit(mvm.OpSwap, 0)
+			g.emit(mvm.OpFLe, 0)
+		} else {
+			g.emit(mvm.OpGe, 0)
+		}
+	default:
+		return fmt.Errorf("morphc: internal: unknown operator %q", ex.Op)
+	}
+	return nil
+}
+
+func (g *codegen) genLogical(ex *BinaryExpr) error {
+	if err := g.genExpr(ex.L); err != nil {
+		return err
+	}
+	if ex.Op == "&&" {
+		jz1 := g.emit(mvm.OpJz, 0)
+		if err := g.genExpr(ex.R); err != nil {
+			return err
+		}
+		jz2 := g.emit(mvm.OpJz, 0)
+		g.emit(mvm.OpPush, 1)
+		jmp := g.emit(mvm.OpJmp, 0)
+		fail := g.here()
+		g.code[jz1].Arg = int64(fail)
+		g.code[jz2].Arg = int64(fail)
+		g.emit(mvm.OpPush, 0)
+		g.code[jmp].Arg = int64(g.here())
+		return nil
+	}
+	jnz1 := g.emit(mvm.OpJnz, 0)
+	if err := g.genExpr(ex.R); err != nil {
+		return err
+	}
+	jnz2 := g.emit(mvm.OpJnz, 0)
+	g.emit(mvm.OpPush, 0)
+	jmp := g.emit(mvm.OpJmp, 0)
+	ok := g.here()
+	g.code[jnz1].Arg = int64(ok)
+	g.code[jnz2].Arg = int64(ok)
+	g.emit(mvm.OpPush, 1)
+	g.code[jmp].Arg = int64(g.here())
+	return nil
+}
+
+func (g *codegen) genCall(ex *CallExpr) error {
+	if ex.builtin != "" {
+		return g.genBuiltin(ex)
+	}
+	for _, a := range ex.Args {
+		if a.ExprType() == TypeStream {
+			g.emit(mvm.OpPush, 0) // streams are phantom handles
+			continue
+		}
+		if err := g.genExpr(a); err != nil {
+			return err
+		}
+	}
+	at := g.emit(mvm.OpCall, 0)
+	g.fixups = append(g.fixups, fixup{at: at, fn: ex.fn})
+	return nil
+}
+
+func (g *codegen) genBuiltin(ex *CallExpr) error {
+	switch ex.Name {
+	case "ms_scanf":
+		isFloat := ex.Args[1].(*StringLit).Value == "%f"
+		dest := ex.Args[2].(*UnaryExpr).X
+		// Scan first, stash (value, ok) in scratch slots, then store the
+		// value conditionally so the destination keeps its old content on
+		// EOF, matching scanf semantics.
+		if isFloat {
+			g.emit(mvm.OpSys, int64(mvm.SysScanFloat))
+		} else {
+			g.emit(mvm.OpSys, int64(mvm.SysScanInt))
+		}
+		g.emit(mvm.OpStore, scratchOK)
+		g.emit(mvm.OpStore, scratchValue)
+		g.emit(mvm.OpLoad, scratchOK)
+		jz := g.emit(mvm.OpJz, 0)
+		switch dst := dest.(type) {
+		case *Ident:
+			g.emit(mvm.OpLoad, scratchValue)
+			g.storeScalar(g.prog.syms[dst])
+		case *IndexExpr:
+			sym := g.prog.syms[dst.Arr]
+			if err := g.genElemAddr(sym, dst.Index); err != nil {
+				return err
+			}
+			g.emit(mvm.OpLoad, scratchValue)
+			g.emitStoreElem(sym)
+		}
+		g.code[jz].Arg = int64(g.here())
+		g.emit(mvm.OpLoad, scratchOK) // the call's result
+		return nil
+	case "ms_printf":
+		f := ex.Args[0].(*StringLit).Value
+		argIdx := 1
+		for i := 0; i < len(f); i++ {
+			if f[i] == '%' && i+1 < len(f) {
+				switch f[i+1] {
+				case 'd':
+					if err := g.genExpr(ex.Args[argIdx]); err != nil {
+						return err
+					}
+					g.emit(mvm.OpSys, int64(mvm.SysPrintInt))
+					argIdx++
+					i++
+					continue
+				case 'c':
+					if err := g.genExpr(ex.Args[argIdx]); err != nil {
+						return err
+					}
+					g.emit(mvm.OpSys, int64(mvm.SysPrintChar))
+					argIdx++
+					i++
+					continue
+				case '%':
+					i++
+				}
+			}
+			g.emit(mvm.OpPush, int64(f[i]))
+			g.emit(mvm.OpSys, int64(mvm.SysPrintChar))
+		}
+		return nil
+	case "ms_memcpy":
+		g.emit(mvm.OpSys, int64(mvm.SysFlush))
+		return nil
+	case "ms_argc":
+		g.emit(mvm.OpSys, int64(mvm.SysArgc))
+		return nil
+	case "ms_out_len":
+		g.emit(mvm.OpSys, int64(mvm.SysOutLen))
+		return nil
+	case "ms_arg":
+		if err := g.genExpr(ex.Args[0]); err != nil {
+			return err
+		}
+		g.emit(mvm.OpSys, int64(mvm.SysArg))
+		return nil
+	}
+	// Remaining builtins: evaluate non-stream args, then one sys op.
+	for _, a := range ex.Args {
+		if a.ExprType() == TypeStream {
+			continue
+		}
+		if err := g.genExpr(a); err != nil {
+			return err
+		}
+	}
+	sysOf := map[string]mvm.Builtin{
+		"ms_read_byte": mvm.SysReadByte,
+		"ms_peek_byte": mvm.SysPeekByte,
+		"ms_eof":       mvm.SysEOF,
+		"ms_emit_i32":  mvm.SysEmitI32,
+		"ms_emit_i64":  mvm.SysEmitI64,
+		"ms_emit_f32":  mvm.SysEmitF32,
+		"ms_emit_f64":  mvm.SysEmitF64,
+		"ms_emit_byte": mvm.SysEmitByte,
+	}
+	b, ok := sysOf[ex.Name]
+	if !ok {
+		return fmt.Errorf("morphc: internal: builtin %q has no lowering", ex.Name)
+	}
+	g.emit(mvm.OpSys, int64(b))
+	return nil
+}

@@ -1,0 +1,225 @@
+package morphc
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"morpheus/internal/mvm"
+)
+
+func compileAt(t *testing.T, src string, level OptLevel) *mvm.Program {
+	t.Helper()
+	p, err := CompileWithOptions(src, "", level)
+	if err != nil {
+		t.Fatalf("compile(O%d): %v", level, err)
+	}
+	return p
+}
+
+func execProg(t *testing.T, p *mvm.Program, input string, args ...int64) (int64, []byte) {
+	t.Helper()
+	vm, err := mvm.New(p, mvm.DefaultConfig(), mvm.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.SetArgs(args)
+	if err := vm.Feed([]byte(input), true); err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	for {
+		switch st := vm.Run(); st {
+		case mvm.StateHalted:
+			return vm.ReturnValue(), append(out, vm.DrainOutput()...)
+		case mvm.StateOutputFull, mvm.StateFlushRequested:
+			out = append(out, vm.DrainOutput()...)
+		default:
+			t.Fatalf("state %v: %v", st, vm.TrapErr())
+		}
+	}
+}
+
+func TestOptimizerShrinksConstantExpressions(t *testing.T) {
+	src := `StorageApp int f(ms_stream s) { return (3 + 4) * (10 - 2) / 2; }`
+	p0 := compileAt(t, src, O0)
+	p1 := compileAt(t, src, O1)
+	if len(p1.Code) >= len(p0.Code) {
+		t.Fatalf("O1 (%d instrs) not smaller than O0 (%d)", len(p1.Code), len(p0.Code))
+	}
+	r0, _ := execProg(t, p0, "")
+	r1, _ := execProg(t, p1, "")
+	if r0 != 28 || r1 != 28 {
+		t.Fatalf("results: O0=%d O1=%d, want 28", r0, r1)
+	}
+	// The whole expression should fold to a single push.
+	pushes := 0
+	for _, ins := range p1.Code {
+		if ins.Op == mvm.OpPush && ins.Arg == 28 {
+			pushes++
+		}
+	}
+	if pushes == 0 {
+		t.Fatalf("expected a folded `push 28` in:\n%s", mvm.Disassemble(p1))
+	}
+}
+
+func TestOptimizerRemovesConstantBranches(t *testing.T) {
+	src := `
+StorageApp int f(ms_stream s) {
+	int r = 0;
+	if (1 < 2) { r = 10; } else { r = 20; }
+	while (0 > 1) { r = r + 1; }
+	return r;
+}`
+	p0 := compileAt(t, src, O0)
+	p1 := compileAt(t, src, O1)
+	r1, _ := execProg(t, p1, "")
+	if r1 != 10 {
+		t.Fatalf("result = %d", r1)
+	}
+	if len(p1.Code) >= len(p0.Code) {
+		t.Fatalf("dead branches not removed: O0=%d O1=%d", len(p0.Code), len(p1.Code))
+	}
+	// The dead else-arm constant must be gone.
+	for _, ins := range p1.Code {
+		if ins.Op == mvm.OpPush && ins.Arg == 20 {
+			t.Fatalf("dead else arm survived:\n%s", mvm.Disassemble(p1))
+		}
+	}
+}
+
+func TestOptimizerPreservesDivideByZeroTrap(t *testing.T) {
+	src := `StorageApp int f(ms_stream s) { return 1 / 0; }`
+	p1 := compileAt(t, src, O1)
+	vm, _ := mvm.New(p1, mvm.DefaultConfig(), mvm.DefaultCostModel())
+	vm.Feed(nil, true)
+	if st := vm.Run(); st != mvm.StateTrapped {
+		t.Fatalf("constant folding must not erase the divide-by-zero trap (state %v)", st)
+	}
+}
+
+func TestOptimizerSemanticEquivalenceProperty(t *testing.T) {
+	// Random arithmetic/branch programs: O0 and O1 agree on result and
+	// output for random arguments.
+	exprs := []string{
+		"a + b*3 - (c ^ 5)",
+		"(a & 255) + (b % 7) + (c >> 2)",
+		"(a < b) * 100 + (b == c) * 10 + (a != 0)",
+		"-a + ~b + !c",
+	}
+	for ei, e := range exprs {
+		src := fmt.Sprintf(`
+int helper(int x) { if (x > 0) return x * 2; return x - 1; }
+StorageApp int f(ms_stream s, int a, int b, int c) {
+	int acc = 0;
+	for (int i = 0; i < 3; i++) {
+		acc += helper(%s) + i;
+	}
+	ms_emit_i32(acc);
+	return acc;
+}`, e)
+		p0, err := CompileWithOptions(src, "", O0)
+		if err != nil {
+			t.Fatalf("expr %d O0: %v", ei, err)
+		}
+		p1, err := CompileWithOptions(src, "", O1)
+		if err != nil {
+			t.Fatalf("expr %d O1: %v", ei, err)
+		}
+		f := func(a, b, c int16) bool {
+			args := []int64{int64(a), int64(b), int64(c)}
+			run := func(p *mvm.Program) (int64, string, bool) {
+				vm, _ := mvm.New(p, mvm.DefaultConfig(), mvm.DefaultCostModel())
+				vm.SetArgs(args)
+				vm.Feed(nil, true)
+				var out []byte
+				for {
+					switch st := vm.Run(); st {
+					case mvm.StateHalted:
+						return vm.ReturnValue(), string(append(out, vm.DrainOutput()...)), true
+					case mvm.StateOutputFull, mvm.StateFlushRequested:
+						out = append(out, vm.DrainOutput()...)
+					case mvm.StateTrapped:
+						return 0, vm.TrapErr().Error(), false
+					default:
+						return 0, "", false
+					}
+				}
+			}
+			r0, o0, ok0 := run(p0)
+			r1, o1, ok1 := run(p1)
+			if ok0 != ok1 {
+				return false // both trap or both halt
+			}
+			if !ok0 {
+				return true // both trapped (e.g. div by zero): equivalent
+			}
+			return r0 == r1 && o0 == o1
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("expr %d (%s): %v", ei, e, err)
+		}
+	}
+}
+
+func TestOptimizerNeverGrowsCode(t *testing.T) {
+	srcs := []string{
+		deserializeIntsSrc,
+		`StorageApp int g(ms_stream s) { int v; int n = 0; while (ms_scanf(s, "%d", &v) == 1) { if (v % 2 == 0) { ms_emit_i32(v); n++; } } return n; }`,
+		`StorageApp int h(ms_stream s, int k) {
+			int arr[64];
+			for (int i = 0; i < 64; i++) arr[i] = i * k;
+			int sum = 0;
+			for (int i = 0; i < 64; i++) sum += arr[i];
+			return sum;
+		}`,
+	}
+	for i, src := range srcs {
+		p0 := compileAt(t, src, O0)
+		p1 := compileAt(t, src, O1)
+		if len(p1.Code) > len(p0.Code) {
+			t.Errorf("src %d: O1 grew the code %d -> %d", i, len(p0.Code), len(p1.Code))
+		}
+	}
+}
+
+func TestOptimizedStorageAppStillParses(t *testing.T) {
+	// The flagship deserializer must survive optimization bit-exactly.
+	p0 := compileAt(t, deserializeIntsSrc, O0)
+	p1 := compileAt(t, deserializeIntsSrc, O1)
+	in := "7 -8 900000 41\n"
+	r0, o0 := execProg(t, p0, in)
+	r1, o1 := execProg(t, p1, in)
+	if r0 != r1 || string(o0) != string(o1) {
+		t.Fatalf("optimization changed behaviour: ret %d vs %d, %d vs %d output bytes", r0, r1, len(o0), len(o1))
+	}
+	if r1 != 4 {
+		t.Fatalf("ret = %d", r1)
+	}
+}
+
+func TestOptimizerReducesCycles(t *testing.T) {
+	src := `
+StorageApp int f(ms_stream s) {
+	int total = 0;
+	for (int i = 0; i < 100; i++) {
+		total += i * (2 + 3) + (10 / 2);
+	}
+	return total;
+}`
+	p0 := compileAt(t, src, O0)
+	p1 := compileAt(t, src, O1)
+	run := func(p *mvm.Program) float64 {
+		vm, _ := mvm.New(p, mvm.DefaultConfig(), mvm.DefaultCostModel())
+		vm.Feed(nil, true)
+		if vm.Run() != mvm.StateHalted {
+			t.Fatal("did not halt")
+		}
+		return vm.Cycles()
+	}
+	c0, c1 := run(p0), run(p1)
+	if c1 >= c0 {
+		t.Fatalf("O1 cycles %v not below O0 %v", c1, c0)
+	}
+}

@@ -1,0 +1,554 @@
+package morphc
+
+import "strconv"
+
+// Parse lexes and parses a MorphC translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(kind Kind, text string) bool {
+	t := p.cur()
+	if t.Kind == kind && (text == "" || t.Text == text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind Kind, text string) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind || (text != "" && t.Text != text) {
+		want := text
+		if want == "" {
+			want = map[Kind]string{TokIdent: "identifier", TokInt: "integer", TokEOF: "EOF"}[kind]
+		}
+		return t, errf(t.Line, t.Col, "expected %s, found %s", want, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) typeName() (Type, bool) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return TypeInvalid, false
+	}
+	switch t.Text {
+	case "int":
+		return TypeInt, true
+	case "float":
+		return TypeFloat, true
+	case "char":
+		return TypeChar, true
+	case "void":
+		return TypeVoid, true
+	case "ms_stream":
+		return TypeStream, true
+	}
+	return TypeInvalid, false
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		isApp := false
+		if p.cur().Kind == TokKeyword && p.cur().Text == "StorageApp" {
+			isApp = true
+			p.next()
+		}
+		ty, ok := p.typeName()
+		if !ok {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "expected declaration, found %s", t)
+		}
+		startLine := p.cur().Line
+		p.next()
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Kind == TokPunct && p.cur().Text == "(" {
+			fn, err := p.funcDecl(ty, name.Text, isApp, startLine)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+			continue
+		}
+		if isApp {
+			return nil, errf(name.Line, name.Col, "StorageApp must be a function")
+		}
+		decl, err := p.varDeclRest(ty, name)
+		if err != nil {
+			return nil, err
+		}
+		f.Globals = append(f.Globals, decl)
+	}
+	return f, nil
+}
+
+// varDeclRest parses the remainder of a variable declaration after the
+// type and name: optional [N], optional = init, terminating ;.
+func (p *parser) varDeclRest(ty Type, name Token) (*VarDecl, error) {
+	d := &VarDecl{Name: name.Text, Type: ty, Line: name.Line}
+	if p.accept(TokPunct, "[") {
+		n, err := p.expect(TokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		length, err := strconv.Atoi(n.Text)
+		if err != nil || length <= 0 {
+			return nil, errf(n.Line, n.Col, "bad array length %q", n.Text)
+		}
+		d.ArrayLen = length
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokPunct, "=") {
+		if d.ArrayLen > 0 {
+			return nil, errf(name.Line, name.Col, "array initializers are not supported")
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	_, err := p.expect(TokPunct, ";")
+	return d, err
+}
+
+func (p *parser) funcDecl(ret Type, name string, isApp bool, line int) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name, Ret: ret, IsStorageApp: isApp, Line: line}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	if !p.accept(TokPunct, ")") {
+		for {
+			ty, ok := p.typeName()
+			if !ok || ty == TypeVoid {
+				t := p.cur()
+				if ty == TypeVoid && len(fn.Params) == 0 {
+					p.next() // f(void)
+					break
+				}
+				return nil, errf(t.Line, t.Col, "expected parameter type, found %s", t)
+			}
+			p.next()
+			pn, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, Param{Name: pn.Text, Type: ty})
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept(TokPunct, "}") {
+		if p.cur().Kind == TokEOF {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "unexpected end of file in block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokPunct && t.Text == "{":
+		return p.block()
+	case t.Kind == TokKeyword && t.Text == "if":
+		return p.ifStmt()
+	case t.Kind == TokKeyword && t.Text == "while":
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case t.Kind == TokKeyword && t.Text == "for":
+		return p.forStmt()
+	case t.Kind == TokKeyword && t.Text == "return":
+		p.next()
+		r := &ReturnStmt{Line: t.Line}
+		if !(p.cur().Kind == TokPunct && p.cur().Text == ";") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = e
+		}
+		_, err := p.expect(TokPunct, ";")
+		return r, err
+	case t.Kind == TokKeyword && t.Text == "break":
+		p.next()
+		_, err := p.expect(TokPunct, ";")
+		return &BreakStmt{Line: t.Line}, err
+	case t.Kind == TokKeyword && t.Text == "continue":
+		p.next()
+		_, err := p.expect(TokPunct, ";")
+		return &ContinueStmt{Line: t.Line}, err
+	default:
+		if ty, ok := p.typeName(); ok {
+			if ty == TypeVoid {
+				return nil, errf(t.Line, t.Col, "cannot declare a void variable")
+			}
+			p.next()
+			name, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			d, err := p.varDeclRest(ty, name)
+			if err != nil {
+				return nil, err
+			}
+			return &DeclStmt{Decl: d}, nil
+		}
+		return p.simpleStmtSemi()
+	}
+}
+
+// blockOrSingle parses either a braced block or a single statement wrapped
+// in a block.
+func (p *parser) blockOrSingle() (*Block, error) {
+	if p.cur().Kind == TokPunct && p.cur().Text == "{" {
+		return p.block()
+	}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Stmts: []Stmt{s}}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.next() // if
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then}
+	if p.cur().Kind == TokKeyword && p.cur().Text == "else" {
+		p.next()
+		els, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	p.next() // for
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{}
+	if !(p.cur().Kind == TokPunct && p.cur().Text == ";") {
+		if ty, ok := p.typeName(); ok && ty != TypeVoid {
+			p.next()
+			name, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			d, err := p.varDeclRest(ty, name) // consumes the ';'
+			if err != nil {
+				return nil, err
+			}
+			f.Init = &DeclStmt{Decl: d}
+		} else {
+			s, err := p.simpleStmtSemi()
+			if err != nil {
+				return nil, err
+			}
+			f.Init = s
+		}
+	} else {
+		p.next()
+	}
+	if !(p.cur().Kind == TokPunct && p.cur().Text == ";") {
+		c, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = c
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !(p.cur().Kind == TokPunct && p.cur().Text == ")") {
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = s
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// simpleStmt parses an assignment, ++/--, or expression statement without
+// the trailing semicolon.
+func (p *parser) simpleStmt() (Stmt, error) {
+	t := p.cur()
+	e, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	cur := p.cur()
+	if cur.Kind == TokPunct {
+		switch cur.Text {
+		case "=", "+=", "-=", "*=", "/=", "%=":
+			p.next()
+			rhs, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Target: e, Op: cur.Text, Value: rhs, Line: t.Line}, nil
+		case "++", "--":
+			p.next()
+			op := "+="
+			if cur.Text == "--" {
+				op = "-="
+			}
+			one := &IntLit{Value: 1}
+			return &AssignStmt{Target: e, Op: op, Value: one, Line: t.Line}, nil
+		}
+	}
+	return &ExprStmt{X: e}, nil
+}
+
+func (p *parser) simpleStmtSemi() (Stmt, error) {
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	_, err = p.expect(TokPunct, ";")
+	return s, err
+}
+
+// ---- expressions (precedence climbing) ----------------------------------
+
+var binaryPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expression() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := binaryPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: t.Text, L: lhs, R: rhs, Line: t.Line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "!", "~", "&":
+			p.next()
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: t.Text, X: x, Line: t.Line}, nil
+		case "(":
+			// Cast or parenthesized expression.
+			if p.peek().Kind == TokKeyword {
+				switch p.peek().Text {
+				case "int", "float", "char":
+					p.next()
+					ty, _ := p.typeName()
+					p.next()
+					if _, err := p.expect(TokPunct, ")"); err != nil {
+						return nil, err
+					}
+					x, err := p.unary()
+					if err != nil {
+						return nil, err
+					}
+					return &CastExpr{To: ty, X: x}, nil
+				}
+			}
+			p.next()
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			_, err = p.expect(TokPunct, ")")
+			return e, err
+		}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	t := p.next()
+	var e Expr
+	switch t.Kind {
+	case TokInt:
+		v, err := strconv.ParseInt(t.Text, 0, 64) // base 0: decimal, 0x hex, 0b binary
+		if err != nil {
+			return nil, errf(t.Line, t.Col, "bad integer literal %q", t.Text)
+		}
+		e = &IntLit{Value: v}
+	case TokFloat:
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Line, t.Col, "bad float literal %q", t.Text)
+		}
+		e = &FloatLit{Value: v}
+	case TokChar:
+		e = &CharLit{Value: t.Text[0]}
+	case TokString:
+		e = &StringLit{Value: t.Text}
+	case TokIdent:
+		if p.cur().Kind == TokPunct && p.cur().Text == "(" {
+			p.next()
+			call := &CallExpr{Name: t.Text, Line: t.Line}
+			if !p.accept(TokPunct, ")") {
+				for {
+					a, err := p.expression()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokPunct, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(TokPunct, ")"); err != nil {
+					return nil, err
+				}
+			}
+			e = call
+		} else {
+			e = &Ident{Name: t.Text, Line: t.Line}
+		}
+	default:
+		return nil, errf(t.Line, t.Col, "expected expression, found %s", t)
+	}
+	// Array indexing.
+	for p.cur().Kind == TokPunct && p.cur().Text == "[" {
+		open := p.next()
+		idx, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		id, ok := e.(*Ident)
+		if !ok {
+			return nil, errf(open.Line, open.Col, "only named arrays can be indexed")
+		}
+		e = &IndexExpr{Arr: id, Index: idx, Line: open.Line}
+	}
+	return e, nil
+}

@@ -1,0 +1,234 @@
+// Package morphc implements the Morpheus programming-model compiler: it
+// compiles MorphC — the C subset of §V in which programmers write
+// StorageApps — into MVM bytecode that the simulated embedded cores
+// execute. The front end mirrors the paper's framework: a `StorageApp`
+// keyword marks device functions, `ms_stream` is the file-access
+// abstraction, and the device library (`ms_scanf`, `ms_printf`,
+// `ms_memcpy`, …) is the only I/O surface, "keep[ing] the programmer from
+// having to deal with low-level operations inside a storage device".
+package morphc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	TokEOF Kind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokChar
+	TokKeyword
+	TokPunct
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "char": true, "void": true,
+	"ms_stream": true, "StorageApp": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+}
+
+// punct lists multi-character punctuators longest-first so the lexer is
+// maximal-munch.
+var punct = []string{
+	"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "++", "--",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+	"(", ")", "{", "}", "[", "]", ";", ",",
+}
+
+// Error is a positioned compile error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("morphc:%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes MorphC source. Comments use // and /* */.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for j := 0; j < n; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			start := i
+			advance(2)
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				advance(1)
+			}
+			if i+1 >= len(src) {
+				return nil, errf(line, col, "unterminated comment starting at offset %d", start)
+			}
+			advance(2)
+		case unicode.IsLetter(rune(c)) || c == '_':
+			startLine, startCol := line, col
+			j := i
+			for j < len(src) && (isIdentChar(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: startLine, Col: startCol})
+			advance(j - i)
+		case unicode.IsDigit(rune(c)):
+			startLine, startCol := line, col
+			// Hex (0x...) and binary (0b...) integer literals.
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X' || src[i+1] == 'b' || src[i+1] == 'B') {
+				j := i + 2
+				for j < len(src) && (isIdentChar(src[j])) {
+					j++
+				}
+				toks = append(toks, Token{Kind: TokInt, Text: src[i:j], Line: startLine, Col: startCol})
+				advance(j - i)
+				continue
+			}
+			j := i
+			isFloat := false
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.' ||
+				src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				if src[j] == '.' || src[j] == 'e' || src[j] == 'E' {
+					isFloat = true
+				}
+				j++
+			}
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			toks = append(toks, Token{Kind: kind, Text: src[i:j], Line: startLine, Col: startCol})
+			advance(j - i)
+		case c == '"':
+			startLine, startCol := line, col
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' && j+1 < len(src) {
+					sb.WriteByte(unescape(src[j+1]))
+					j += 2
+					continue
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, errf(startLine, startCol, "unterminated string literal")
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Line: startLine, Col: startCol})
+			advance(j + 1 - i)
+		case c == '\'':
+			startLine, startCol := line, col
+			j := i + 1
+			if j >= len(src) {
+				return nil, errf(startLine, startCol, "unterminated character literal")
+			}
+			var ch byte
+			if src[j] == '\\' && j+1 < len(src) {
+				ch = unescape(src[j+1])
+				j += 2
+			} else {
+				ch = src[j]
+				j++
+			}
+			if j >= len(src) || src[j] != '\'' {
+				return nil, errf(startLine, startCol, "unterminated character literal")
+			}
+			toks = append(toks, Token{Kind: TokChar, Text: string(ch), Line: startLine, Col: startCol})
+			advance(j + 1 - i)
+		default:
+			matched := false
+			for _, p := range punct {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line, Col: col})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, errf(line, col, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	default:
+		return c
+	}
+}

@@ -1,0 +1,167 @@
+package mvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses MVM assembler text into a Program. The syntax is one
+// instruction per line, `;` comments, and `label:` definitions; jump and
+// call targets may be labels or absolute indices. Directives:
+//
+//	.name <identifier>      program name
+//	.globals <n>            number of global slots
+//	.sram <n>               statically allocated D-SRAM bytes
+//
+// Builtins are written `sys <name>` using the names from Builtin.String.
+func Assemble(src string) (*Program, error) {
+	p := &Program{}
+	labels := make(map[string]int)
+	type pending struct {
+		instr int
+		label string
+		line  int
+	}
+	var fixups []pending
+
+	builtinByName := map[string]Builtin{}
+	for b := SysArg; b <= SysOutLen; b++ {
+		builtinByName[b.String()] = b
+	}
+	opByName := map[string]Op{}
+	for op := OpNop; op <= OpSys; op++ {
+		name, _ := opInfo(op)
+		opByName[name] = op
+	}
+
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for strings.Contains(line, ":") {
+			i := strings.Index(line, ":")
+			label := strings.TrimSpace(line[:i])
+			if label == "" {
+				return nil, fmt.Errorf("mvm asm:%d: empty label", lineNo)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("mvm asm:%d: duplicate label %q", lineNo, label)
+			}
+			labels[label] = len(p.Code)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		mnemonic := strings.ToLower(fields[0])
+		switch mnemonic {
+		case ".name":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("mvm asm:%d: .name needs one operand", lineNo)
+			}
+			p.Name = fields[1]
+			continue
+		case ".globals", ".sram":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("mvm asm:%d: %s needs one operand", lineNo, mnemonic)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("mvm asm:%d: bad operand %q", lineNo, fields[1])
+			}
+			if mnemonic == ".globals" {
+				p.NumGlobals = n
+			} else {
+				p.SRAMStatic = n
+			}
+			continue
+		}
+		op, ok := opByName[mnemonic]
+		if !ok {
+			return nil, fmt.Errorf("mvm asm:%d: unknown mnemonic %q", lineNo, mnemonic)
+		}
+		ins := Instr{Op: op}
+		_, hasArg := opInfo(op)
+		switch {
+		case op == OpSys:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("mvm asm:%d: sys needs a builtin name", lineNo)
+			}
+			b, ok := builtinByName[strings.ToLower(fields[1])]
+			if !ok {
+				return nil, fmt.Errorf("mvm asm:%d: unknown builtin %q", lineNo, fields[1])
+			}
+			ins.Arg = int64(b)
+		case hasArg:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("mvm asm:%d: %s needs an operand", lineNo, mnemonic)
+			}
+			if n, err := strconv.ParseInt(fields[1], 0, 64); err == nil {
+				ins.Arg = n
+			} else if op == OpJmp || op == OpJz || op == OpJnz || op == OpCall {
+				fixups = append(fixups, pending{instr: len(p.Code), label: fields[1], line: lineNo})
+			} else {
+				return nil, fmt.Errorf("mvm asm:%d: bad operand %q", lineNo, fields[1])
+			}
+		default:
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("mvm asm:%d: %s takes no operand", lineNo, mnemonic)
+			}
+		}
+		p.Code = append(p.Code, ins)
+	}
+	for _, fx := range fixups {
+		target, ok := labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("mvm asm:%d: undefined label %q", fx.line, fx.label)
+		}
+		p.Code[fx.instr].Arg = int64(target)
+	}
+	return p, nil
+}
+
+// Disassemble renders the program as assembler text that Assemble accepts.
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, ".name %s\n", p.Name)
+	}
+	if p.NumGlobals > 0 {
+		fmt.Fprintf(&b, ".globals %d\n", p.NumGlobals)
+	}
+	if p.SRAMStatic > 0 {
+		fmt.Fprintf(&b, ".sram %d\n", p.SRAMStatic)
+	}
+	// Collect branch targets so the output uses labels.
+	targets := make(map[int]string)
+	for _, ins := range p.Code {
+		switch ins.Op {
+		case OpJmp, OpJz, OpJnz, OpCall:
+			if _, ok := targets[int(ins.Arg)]; !ok {
+				targets[int(ins.Arg)] = fmt.Sprintf("L%d", len(targets))
+			}
+		}
+	}
+	for i, ins := range p.Code {
+		if lbl, ok := targets[i]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		switch ins.Op {
+		case OpJmp, OpJz, OpJnz, OpCall:
+			name, _ := opInfo(ins.Op)
+			fmt.Fprintf(&b, "\t%s %s\n", name, targets[int(ins.Arg)])
+		default:
+			fmt.Fprintf(&b, "\t%s\n", ins)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,303 @@
+package mvm
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// runAsm assembles and runs a program to halt, returning the VM.
+func runAsm(t *testing.T, src, input string, args ...int64) *VM {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	vm, err := New(p, DefaultConfig(), DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.SetArgs(args)
+	if err := vm.Feed([]byte(input), true); err != nil {
+		t.Fatal(err)
+	}
+	if st := vm.Run(); st != StateHalted {
+		t.Fatalf("state %v: %v", st, vm.TrapErr())
+	}
+	return vm
+}
+
+func TestStackOps(t *testing.T) {
+	// dup: 5 -> 5 5 -> 25; swap: 2 10 -> 10 2 -> 10-2... exercise both.
+	vm := runAsm(t, "push 5\ndup\nmul\nhalt", "")
+	if vm.ReturnValue() != 25 {
+		t.Fatalf("dup/mul = %d", vm.ReturnValue())
+	}
+	vm = runAsm(t, "push 2\npush 10\nswap\nsub\nhalt", "")
+	if vm.ReturnValue() != 10-2 {
+		t.Fatalf("swap/sub = %d", vm.ReturnValue())
+	}
+	vm = runAsm(t, "push 1\npush 2\npop\nhalt", "")
+	if vm.ReturnValue() != 1 {
+		t.Fatalf("pop = %d", vm.ReturnValue())
+	}
+	vm = runAsm(t, "push 7\nneg\nhalt", "")
+	if vm.ReturnValue() != -7 {
+		t.Fatalf("neg = %d", vm.ReturnValue())
+	}
+	vm = runAsm(t, "push 0\nnot\nhalt", "")
+	if vm.ReturnValue() != 1 {
+		t.Fatalf("not = %d", vm.ReturnValue())
+	}
+	vm = runAsm(t, "nop\npush 3\nhalt", "")
+	if vm.ReturnValue() != 3 {
+		t.Fatalf("nop = %d", vm.ReturnValue())
+	}
+}
+
+func TestGlobalsAndMemoryWidths(t *testing.T) {
+	src := `
+.globals 2
+.sram 64
+	push 11
+	gstore 0
+	push 22
+	gstore 1
+	; sram[0] = 0x1234 as 32-bit
+	push 0
+	push 4660
+	st32
+	; sram[8] = -9 as 64-bit
+	push 8
+	push -9
+	st64
+	; sram[16] = 200 as byte
+	push 16
+	push 200
+	st8
+	gload 0
+	gload 1
+	add
+	push 0
+	ld32
+	add
+	push 8
+	ld64
+	add
+	push 16
+	ld8
+	add
+	halt
+`
+	vm := runAsm(t, src, "")
+	want := int64(11 + 22 + 4660 - 9 + 200)
+	if vm.ReturnValue() != want {
+		t.Fatalf("memory widths = %d, want %d", vm.ReturnValue(), want)
+	}
+}
+
+func TestFloatComparisonOps(t *testing.T) {
+	// 1.0 < 2.0, 2.0 <= 2.0, 2.0 == 2.0, -(1.0), f2i(3.0)
+	f := func(v float64) string {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		return itoa(int64(math.Float64bits(v)))
+	}
+	vm := runAsm(t, "push "+f(1)+"\npush "+f(2)+"\nflt\nhalt", "")
+	if vm.ReturnValue() != 1 {
+		t.Fatal("1.0 < 2.0 must hold")
+	}
+	vm = runAsm(t, "push "+f(2)+"\npush "+f(2)+"\nfle\nhalt", "")
+	if vm.ReturnValue() != 1 {
+		t.Fatal("2.0 <= 2.0 must hold")
+	}
+	vm = runAsm(t, "push "+f(2)+"\npush "+f(2)+"\nfeq\nhalt", "")
+	if vm.ReturnValue() != 1 {
+		t.Fatal("2.0 == 2.0 must hold")
+	}
+	vm = runAsm(t, "push "+f(1.5)+"\nfneg\nhalt", "")
+	if math.Float64frombits(uint64(vm.ReturnValue())) != -1.5 {
+		t.Fatal("fneg")
+	}
+	vm = runAsm(t, "push "+f(3)+"\nf2i\nhalt", "")
+	if vm.ReturnValue() != 3 {
+		t.Fatal("f2i")
+	}
+	vm = runAsm(t, "push "+f(8)+"\npush "+f(2)+"\nfsub\nhalt", "")
+	if math.Float64frombits(uint64(vm.ReturnValue())) != 6 {
+		t.Fatal("fsub")
+	}
+	vm = runAsm(t, "push "+f(8)+"\npush "+f(2)+"\nfdiv\nhalt", "")
+	if math.Float64frombits(uint64(vm.ReturnValue())) != 4 {
+		t.Fatal("fdiv")
+	}
+}
+
+func TestRemainingBuiltins(t *testing.T) {
+	// peek does not consume; eof; out_len; arg/argc; emit widths.
+	src := `
+	sys peek_byte
+	pop
+	sys read_byte
+	pop
+	sys eof
+	pop
+	push 0
+	sys arg
+	sys emit_i64
+	sys argc
+	sys emit_i32
+	push 4614256656552045848   ; bits of 3.141592653589793
+	sys emit_f64
+	push 4614256656552045848
+	sys emit_f32
+	sys out_len
+	halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := New(p, DefaultConfig(), DefaultCostModel())
+	vm.SetArgs([]int64{-77})
+	vm.Feed([]byte("Z"), true)
+	if st := vm.Run(); st != StateHalted {
+		t.Fatalf("state %v: %v", st, vm.TrapErr())
+	}
+	out := vm.DrainOutput()
+	if len(out) != 8+4+8+4 {
+		t.Fatalf("out = %d bytes", len(out))
+	}
+	if got := int64(binary.LittleEndian.Uint64(out[:8])); got != -77 {
+		t.Fatalf("emit_i64(arg) = %d", got)
+	}
+	if got := int32(binary.LittleEndian.Uint32(out[8:12])); got != 1 {
+		t.Fatalf("emit_i32(argc) = %d", got)
+	}
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(out[12:20])); got != math.Pi {
+		t.Fatalf("emit_f64 = %v", got)
+	}
+	if got := math.Float32frombits(binary.LittleEndian.Uint32(out[20:24])); got != float32(math.Pi) {
+		t.Fatalf("emit_f32 = %v", got)
+	}
+	// out_len was pushed before halt: 24 bytes buffered at that point.
+	if vm.ReturnValue() != 24 {
+		t.Fatalf("out_len = %d", vm.ReturnValue())
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	vm := runAsm(t, "sys peek_byte\npop\nsys read_byte\nhalt", "A")
+	if vm.ReturnValue() != 'A' {
+		t.Fatalf("peek consumed the byte: %d", vm.ReturnValue())
+	}
+	if vm.Consumed() != 1 {
+		t.Fatalf("consumed = %d", vm.Consumed())
+	}
+}
+
+func TestEOFBuiltin(t *testing.T) {
+	vm := runAsm(t, "sys read_byte\npop\nsys eof\nhalt", "x")
+	if vm.ReturnValue() != 1 {
+		t.Fatal("eof after consuming everything must be 1")
+	}
+	vm = runAsm(t, "sys eof\nhalt", "x")
+	if vm.ReturnValue() != 0 {
+		t.Fatal("eof with pending input must be 0")
+	}
+	// Reading past the final end yields -1.
+	vm = runAsm(t, "sys read_byte\npop\nsys read_byte\nhalt", "x")
+	if vm.ReturnValue() != -1 {
+		t.Fatalf("read past EOF = %d", vm.ReturnValue())
+	}
+}
+
+func TestScanFloatBuiltinDirect(t *testing.T) {
+	vm := runAsm(t, "sys scan_float\npop\nhalt", "2.5 ")
+	if math.Float64frombits(uint64(vm.ReturnValue())) != 2.5 {
+		t.Fatalf("scan_float = %v", vm.ReturnValue())
+	}
+	_, floats := vm.ScanCounts()
+	if floats != 1 {
+		t.Fatalf("float scans = %d", floats)
+	}
+	// Malformed float token traps.
+	p, _ := Assemble("sys scan_float\npop\nhalt")
+	bad, _ := New(p, DefaultConfig(), DefaultCostModel())
+	bad.Feed([]byte("1.2.3 "), true)
+	if st := bad.Run(); st != StateTrapped {
+		t.Fatalf("bad float token: state %v", st)
+	}
+}
+
+func TestArgOutOfRangeTraps(t *testing.T) {
+	p, _ := Assemble("push 3\nsys arg\nhalt")
+	vm, _ := New(p, DefaultConfig(), DefaultCostModel())
+	vm.SetArgs([]int64{1})
+	vm.Feed(nil, true)
+	if st := vm.Run(); st != StateTrapped {
+		t.Fatalf("arg(3) with argc=1: state %v", st)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	src := `
+	push 20
+	call double
+	push 2
+	add
+	halt
+double:
+	push 2
+	mul
+	ret
+`
+	vm := runAsm(t, src, "")
+	if vm.ReturnValue() != 42 {
+		t.Fatalf("call/ret = %d", vm.ReturnValue())
+	}
+}
+
+func TestStateAndInstrStrings(t *testing.T) {
+	for st, want := range map[State]string{
+		StateRunnable: "runnable", StateNeedInput: "need-input",
+		StateOutputFull: "output-full", StateFlushRequested: "flush-requested",
+		StateHalted: "halted", StateTrapped: "trapped",
+	} {
+		if st.String() != want {
+			t.Fatalf("%d.String() = %q", st, st.String())
+		}
+	}
+	if !strings.Contains(State(99).String(), "99") {
+		t.Fatal("unknown state string")
+	}
+	if got := (Instr{Op: OpPush, Arg: 7}).String(); got != "push 7" {
+		t.Fatalf("instr string = %q", got)
+	}
+	if got := (Instr{Op: OpSys, Arg: int64(SysFlush)}).String(); got != "sys flush" {
+		t.Fatalf("sys string = %q", got)
+	}
+	if !strings.Contains(Builtin(999).String(), "999") {
+		t.Fatal("unknown builtin string")
+	}
+}
+
+func TestIllegalOpcodeTraps(t *testing.T) {
+	p := &Program{Code: []Instr{{Op: Op(200)}}}
+	vm, _ := New(p, DefaultConfig(), DefaultCostModel())
+	vm.Feed(nil, true)
+	if st := vm.Run(); st != StateTrapped {
+		t.Fatalf("illegal opcode: state %v", st)
+	}
+	if !strings.Contains(vm.TrapErr().Error(), "illegal opcode") {
+		t.Fatalf("trap = %v", vm.TrapErr())
+	}
+}
+
+func TestRunAfterTerminalStateIsStable(t *testing.T) {
+	vm := runAsm(t, "push 1\nhalt", "")
+	if vm.Run() != StateHalted {
+		t.Fatal("re-running a halted VM must stay halted")
+	}
+}

@@ -1,0 +1,70 @@
+package mvm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profile is a per-opcode execution histogram, collected when
+// Config.Profile is set. StorageApp authors use it to see where their
+// device cycles go (scan loops vs arithmetic vs emission) — the moral
+// equivalent of a firmware PMU dump.
+type Profile struct {
+	Ops      map[Op]int64
+	Builtins map[Builtin]int64
+}
+
+func newProfile() *Profile {
+	return &Profile{Ops: make(map[Op]int64), Builtins: make(map[Builtin]int64)}
+}
+
+// Total returns the number of profiled instruction executions.
+func (p *Profile) Total() int64 {
+	var n int64
+	for _, c := range p.Ops {
+		n += c
+	}
+	return n
+}
+
+// String renders the histogram, most-executed first.
+func (p *Profile) String() string {
+	if p == nil {
+		return "(profiling disabled)"
+	}
+	type row struct {
+		name  string
+		count int64
+	}
+	var rows []row
+	for op, c := range p.Ops {
+		if op == OpSys {
+			continue // broken out per builtin below
+		}
+		rows = append(rows, row{Instr{Op: op}.String(), c})
+	}
+	for b, c := range p.Builtins {
+		rows = append(rows, row{"sys " + b.String(), c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].name < rows[j].name
+	})
+	total := p.Total()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %12s %7s\n", "op", "executions", "share")
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.count) / float64(total)
+		}
+		fmt.Fprintf(&sb, "%-16s %12d %6.1f%%\n", r.name, r.count, share)
+	}
+	return sb.String()
+}
+
+// Profile returns the collected histogram (nil unless Config.Profile).
+func (vm *VM) Profile() *Profile { return vm.profile }

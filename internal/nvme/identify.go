@@ -1,0 +1,111 @@
+package nvme
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// IdentifySize is the size of the Identify Controller data structure.
+const IdentifySize = 4096
+
+// MorpheusMagic marks a Morpheus-capable controller in the
+// vendor-specific region of the Identify page.
+const MorpheusMagic = 0x4D4F5250 // "MORP"
+
+// IdentifyController is the (abridged) NVMe Identify Controller data
+// structure the simulated SSD returns, plus the Morpheus capability
+// descriptor the prototype advertises in the vendor-specific area — how
+// the extended driver discovers that the four extension opcodes exist
+// before issuing any of them.
+type IdentifyController struct {
+	VID          uint16 // PCI vendor
+	SSVID        uint16 // PCI subsystem vendor
+	SerialNumber string // 20 bytes, space padded
+	ModelNumber  string // 40 bytes, space padded
+	FirmwareRev  string // 8 bytes, space padded
+	// MDTS is the maximum data transfer size as a power of two multiple
+	// of the 4 KiB minimum page (0 = unlimited), exactly as in the spec.
+	MDTS uint8
+	// Vendor-specific Morpheus descriptor (bytes 3072..).
+	Morpheus MorpheusCaps
+}
+
+// MorpheusCaps describes the in-storage processing capability.
+type MorpheusCaps struct {
+	Supported     bool
+	Version       uint16
+	EmbeddedCores uint8
+	CoreMHz       uint16
+	ISRAMKiB      uint16
+	DSRAMKiB      uint16
+	FPU           bool
+}
+
+// MaxTransferBytes resolves MDTS into bytes (0 if unlimited).
+func (id *IdentifyController) MaxTransferBytes() int64 {
+	if id.MDTS == 0 {
+		return 0
+	}
+	return 4096 << id.MDTS
+}
+
+func putPadded(dst []byte, s string) {
+	for i := range dst {
+		dst[i] = ' '
+	}
+	copy(dst, s)
+}
+
+// Marshal encodes the 4096-byte Identify page.
+func (id *IdentifyController) Marshal() []byte {
+	b := make([]byte, IdentifySize)
+	binary.LittleEndian.PutUint16(b[0:2], id.VID)
+	binary.LittleEndian.PutUint16(b[2:4], id.SSVID)
+	putPadded(b[4:24], id.SerialNumber)
+	putPadded(b[24:64], id.ModelNumber)
+	putPadded(b[64:72], id.FirmwareRev)
+	b[77] = id.MDTS
+	// Vendor-specific region (spec bytes 3072-4095).
+	v := b[3072:]
+	if id.Morpheus.Supported {
+		binary.LittleEndian.PutUint32(v[0:4], MorpheusMagic)
+		binary.LittleEndian.PutUint16(v[4:6], id.Morpheus.Version)
+		v[6] = id.Morpheus.EmbeddedCores
+		binary.LittleEndian.PutUint16(v[8:10], id.Morpheus.CoreMHz)
+		binary.LittleEndian.PutUint16(v[10:12], id.Morpheus.ISRAMKiB)
+		binary.LittleEndian.PutUint16(v[12:14], id.Morpheus.DSRAMKiB)
+		if id.Morpheus.FPU {
+			v[7] = 1
+		}
+	}
+	return b
+}
+
+// UnmarshalIdentify decodes an Identify page.
+func UnmarshalIdentify(b []byte) (*IdentifyController, error) {
+	if len(b) != IdentifySize {
+		return nil, fmt.Errorf("nvme: identify page is %d bytes, want %d", len(b), IdentifySize)
+	}
+	id := &IdentifyController{
+		VID:          binary.LittleEndian.Uint16(b[0:2]),
+		SSVID:        binary.LittleEndian.Uint16(b[2:4]),
+		SerialNumber: strings.TrimRight(string(b[4:24]), " "),
+		ModelNumber:  strings.TrimRight(string(b[24:64]), " "),
+		FirmwareRev:  strings.TrimRight(string(b[64:72]), " "),
+		MDTS:         b[77],
+	}
+	v := b[3072:]
+	if binary.LittleEndian.Uint32(v[0:4]) == MorpheusMagic {
+		id.Morpheus = MorpheusCaps{
+			Supported:     true,
+			Version:       binary.LittleEndian.Uint16(v[4:6]),
+			EmbeddedCores: v[6],
+			FPU:           v[7] != 0,
+			CoreMHz:       binary.LittleEndian.Uint16(v[8:10]),
+			ISRAMKiB:      binary.LittleEndian.Uint16(v[10:12]),
+			DSRAMKiB:      binary.LittleEndian.Uint16(v[12:14]),
+		}
+	}
+	return id, nil
+}

@@ -1,0 +1,167 @@
+package nvme
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Queue errors.
+var (
+	ErrQueueFull  = errors.New("nvme: submission queue full")
+	ErrQueueEmpty = errors.New("nvme: queue empty")
+)
+
+// SubmissionQueue is a ring of wire-format commands with head/tail indices
+// driven by doorbell writes, as in the real NVMe doorbell model the paper
+// contrasts against memory-mapped P2P ("NVMe uses a doorbell model for
+// PCIe communication").
+type SubmissionQueue struct {
+	id      uint16
+	entries [][CommandSize]byte
+	head    uint16 // consumer (controller) index
+	tail    uint16 // producer (host) index
+}
+
+// NewSubmissionQueue returns a submission queue with the given depth.
+// Depth must be at least 2 (one slot is always left empty to distinguish
+// full from empty, as in hardware rings).
+func NewSubmissionQueue(id uint16, depth int) *SubmissionQueue {
+	if depth < 2 {
+		panic("nvme: queue depth must be >= 2")
+	}
+	return &SubmissionQueue{id: id, entries: make([][CommandSize]byte, depth)}
+}
+
+// ID returns the queue identifier.
+func (q *SubmissionQueue) ID() uint16 { return q.id }
+
+// Depth returns the ring size.
+func (q *SubmissionQueue) Depth() int { return len(q.entries) }
+
+// Len returns the number of queued, unconsumed commands.
+func (q *SubmissionQueue) Len() int {
+	d := uint16(len(q.entries))
+	return int((q.tail + d - q.head) % d)
+}
+
+// Push enqueues a command at the tail (the host side writes the SQ entry
+// then rings the tail doorbell).
+func (q *SubmissionQueue) Push(c Command) error {
+	d := uint16(len(q.entries))
+	if (q.tail+1)%d == q.head {
+		return ErrQueueFull
+	}
+	q.entries[q.tail] = c.Marshal()
+	q.tail = (q.tail + 1) % d
+	return nil
+}
+
+// Pop dequeues the command at the head (the controller side).
+func (q *SubmissionQueue) Pop() (Command, error) {
+	if q.head == q.tail {
+		return Command{}, ErrQueueEmpty
+	}
+	c := Unmarshal(q.entries[q.head])
+	q.head = (q.head + 1) % uint16(len(q.entries))
+	return c, nil
+}
+
+// Head returns the controller's consumer index, reported back to the host
+// in completions.
+func (q *SubmissionQueue) Head() uint16 { return q.head }
+
+// CompletionQueue is the ring of completion entries written by the
+// controller and consumed by the host (typically from the interrupt
+// handler).
+type CompletionQueue struct {
+	id      uint16
+	entries [][CompletionSize]byte
+	head    uint16 // consumer (host)
+	tail    uint16 // producer (controller)
+	phase   bool   // current phase tag for new entries
+}
+
+// NewCompletionQueue returns a completion queue with the given depth.
+func NewCompletionQueue(id uint16, depth int) *CompletionQueue {
+	if depth < 2 {
+		panic("nvme: queue depth must be >= 2")
+	}
+	return &CompletionQueue{id: id, entries: make([][CompletionSize]byte, depth), phase: true}
+}
+
+// ID returns the queue identifier.
+func (q *CompletionQueue) ID() uint16 { return q.id }
+
+// Depth returns the ring size.
+func (q *CompletionQueue) Depth() int { return len(q.entries) }
+
+// Len returns the number of posted, unconsumed completions.
+func (q *CompletionQueue) Len() int {
+	d := uint16(len(q.entries))
+	return int((q.tail + d - q.head) % d)
+}
+
+// Post writes a completion at the tail with the current phase tag.
+func (q *CompletionQueue) Post(c Completion) error {
+	d := uint16(len(q.entries))
+	if (q.tail+1)%d == q.head {
+		return ErrQueueFull
+	}
+	c.Phase = q.phase
+	q.entries[q.tail] = c.Marshal()
+	q.tail = (q.tail + 1) % d
+	if q.tail == 0 {
+		q.phase = !q.phase // wrap flips the phase, as in hardware
+	}
+	return nil
+}
+
+// Reap consumes the completion at the head.
+func (q *CompletionQueue) Reap() (Completion, error) {
+	if q.head == q.tail {
+		return Completion{}, ErrQueueEmpty
+	}
+	c := UnmarshalCompletion(q.entries[q.head])
+	q.head = (q.head + 1) % uint16(len(q.entries))
+	return c, nil
+}
+
+// QueuePair couples one SQ with one CQ, the unit the driver allocates per
+// host thread.
+type QueuePair struct {
+	SQ *SubmissionQueue
+	CQ *CompletionQueue
+
+	nextCID uint16
+}
+
+// NewQueuePair returns a queue pair with the given id and depth.
+func NewQueuePair(id uint16, depth int) *QueuePair {
+	return &QueuePair{SQ: NewSubmissionQueue(id, depth), CQ: NewCompletionQueue(id, depth)}
+}
+
+// Submit assigns a fresh CID to the command and pushes it.
+func (qp *QueuePair) Submit(c Command) (uint16, error) {
+	qp.nextCID++
+	c.CID = qp.nextCID
+	if err := qp.SQ.Push(c); err != nil {
+		return 0, err
+	}
+	return c.CID, nil
+}
+
+// Complete posts a completion for the given command.
+func (qp *QueuePair) Complete(cid uint16, status Status, result uint32) error {
+	return qp.CQ.Post(Completion{
+		Result: result,
+		SQHead: qp.SQ.Head(),
+		SQID:   qp.SQ.ID(),
+		CID:    cid,
+		Status: status,
+	})
+}
+
+// String describes the pair.
+func (qp *QueuePair) String() string {
+	return fmt.Sprintf("qp%d(sq=%d/%d cq=%d/%d)", qp.SQ.ID(), qp.SQ.Len(), qp.SQ.Depth(), qp.CQ.Len(), qp.CQ.Depth())
+}

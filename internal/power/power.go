@@ -1,0 +1,97 @@
+// Package power models the wall-plug measurement of §VI-A ("we measure
+// the total system power using a Watts Up meter; the idle power of the
+// experimental platform is 150 watts") as a component model: idle floor
+// plus per-component active power integrated over the simulated phases.
+// Figure 9 normalizes against the baseline, so only the deltas matter.
+package power
+
+import (
+	"math"
+
+	"morpheus/internal/units"
+)
+
+// Model is the component power model.
+type Model struct {
+	// Idle is the wall power of the idle platform.
+	Idle units.Power
+	// CPUCoreActiveMax is one Xeon core's active-power adder at the
+	// maximum DVFS point; active power scales roughly with f*V^2, modeled
+	// here as (f/fmax)^2.2.
+	CPUCoreActiveMax units.Power
+	CPUMaxFreq       units.Frequency
+	// SSDCoreActive is one embedded core's active-power adder (the
+	// "simpler and more energy-efficient processors found inside storage
+	// devices").
+	SSDCoreActive units.Power
+	// SSDIOActive is the flash/controller adder while the SSD streams.
+	SSDIOActive units.Power
+	// GPUActive is the adder while GPU kernels run.
+	GPUActive units.Power
+	// DRAMActive is the host-memory adder under heavy traffic.
+	DRAMActive units.Power
+}
+
+// DefaultModel is calibrated against Figure 9's normalized results (see
+// internal/exp/calib.go).
+func DefaultModel() Model {
+	return Model{
+		Idle:             150,
+		CPUCoreActiveMax: 8.5,
+		CPUMaxFreq:       2.5 * units.GHz,
+		SSDCoreActive:    0.45,
+		SSDIOActive:      1.6,
+		GPUActive:        95,
+		DRAMActive:       3.0,
+	}
+}
+
+// CPUCoreActive returns the per-core adder at an operating frequency.
+func (m Model) CPUCoreActive(f units.Frequency) units.Power {
+	if m.CPUMaxFreq <= 0 {
+		return m.CPUCoreActiveMax
+	}
+	r := float64(f) / float64(m.CPUMaxFreq)
+	if r > 1 {
+		r = 1
+	}
+	// f*V^2 scaling with voltage roughly linear in f over the DVFS range.
+	return units.Power(float64(m.CPUCoreActiveMax) * math.Pow(r, 2.2))
+}
+
+// Load describes what is active during a phase.
+type Load struct {
+	// CPUCoreSeconds is Σ over cores of active seconds (busy time).
+	CPUCoreSeconds float64
+	CPUFreq        units.Frequency
+	// SSDCoreSeconds is Σ over embedded cores of StorageApp seconds.
+	SSDCoreSeconds float64
+	// SSDIOSeconds is how long the SSD streamed data.
+	SSDIOSeconds float64
+	// GPUSeconds is kernel time.
+	GPUSeconds float64
+	// DRAMSeconds is heavy-memory-traffic time.
+	DRAMSeconds float64
+	// Wall is the phase duration.
+	Wall units.Duration
+}
+
+// Energy integrates the model over a phase: idle power for the whole wall
+// time plus each component's adder for its active seconds.
+func (m Model) Energy(l Load) units.Energy {
+	e := m.Idle.EnergyOver(l.Wall)
+	e += units.Energy(l.CPUCoreSeconds * float64(m.CPUCoreActive(l.CPUFreq)))
+	e += units.Energy(l.SSDCoreSeconds * float64(m.SSDCoreActive))
+	e += units.Energy(l.SSDIOSeconds * float64(m.SSDIOActive))
+	e += units.Energy(l.GPUSeconds * float64(m.GPUActive))
+	e += units.Energy(l.DRAMSeconds * float64(m.DRAMActive))
+	return e
+}
+
+// AveragePower is energy divided by wall time.
+func (m Model) AveragePower(l Load) units.Power {
+	if l.Wall <= 0 {
+		return m.Idle
+	}
+	return units.Power(float64(m.Energy(l)) / l.Wall.Seconds())
+}

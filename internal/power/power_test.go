@@ -1,0 +1,78 @@
+package power
+
+import (
+	"testing"
+
+	"morpheus/internal/units"
+)
+
+func TestIdleFloor(t *testing.T) {
+	m := DefaultModel()
+	l := Load{Wall: units.Second}
+	if p := m.AveragePower(l); p != m.Idle {
+		t.Fatalf("idle power = %v, want %v", p, m.Idle)
+	}
+	if e := m.Energy(l); e != units.Energy(m.Idle) {
+		t.Fatalf("idle energy over 1s = %v", e)
+	}
+	if p := m.AveragePower(Load{}); p != m.Idle {
+		t.Fatal("zero-wall load must report idle power")
+	}
+}
+
+func TestCPUCoreDVFSScaling(t *testing.T) {
+	m := DefaultModel()
+	pMax := m.CPUCoreActive(2.5 * units.GHz)
+	pLow := m.CPUCoreActive(1.2 * units.GHz)
+	if pMax != m.CPUCoreActiveMax {
+		t.Fatalf("max-freq power = %v", pMax)
+	}
+	if pLow >= pMax {
+		t.Fatal("lower frequency must draw less power")
+	}
+	// f*V^2 superlinearity: 1.2/2.5 of frequency should be well under
+	// half the power.
+	if float64(pLow) > 0.5*float64(pMax) {
+		t.Fatalf("DVFS scaling too weak: %v vs %v", pLow, pMax)
+	}
+	// Over-range clamps.
+	if m.CPUCoreActive(10*units.GHz) != pMax {
+		t.Fatal("over-max frequency must clamp")
+	}
+}
+
+func TestComponentAdders(t *testing.T) {
+	m := DefaultModel()
+	base := m.Energy(Load{Wall: units.Second})
+	withCPU := m.Energy(Load{Wall: units.Second, CPUCoreSeconds: 1, CPUFreq: 2.5 * units.GHz})
+	if withCPU <= base {
+		t.Fatal("CPU activity must add energy")
+	}
+	withSSD := m.Energy(Load{Wall: units.Second, SSDCoreSeconds: 1})
+	if withSSD <= base {
+		t.Fatal("SSD core activity must add energy")
+	}
+	// The paper's core argument: an embedded core costs far less than a
+	// Xeon core for the same busy time.
+	cpuDelta := float64(withCPU - base)
+	ssdDelta := float64(withSSD - base)
+	if ssdDelta*10 > cpuDelta {
+		t.Fatalf("embedded core (%vJ) should be >10x cheaper than a Xeon core (%vJ)", ssdDelta, cpuDelta)
+	}
+}
+
+func TestMorpheusBeatsBaselineScenario(t *testing.T) {
+	// A representative deserialization phase: baseline burns one Xeon core
+	// for 1s; Morpheus burns one embedded core for 0.6s (1.66x faster).
+	m := DefaultModel()
+	base := Load{Wall: units.Second, CPUCoreSeconds: 0.95, CPUFreq: 2.5 * units.GHz, DRAMSeconds: 1}
+	morph := Load{Wall: 600 * units.Millisecond, SSDCoreSeconds: 0.55, SSDIOSeconds: 0.3, DRAMSeconds: 0.6}
+	pSave := 1 - float64(m.AveragePower(morph))/float64(m.AveragePower(base))
+	eSave := 1 - float64(m.Energy(morph))/float64(m.Energy(base))
+	if pSave <= 0 || pSave > 0.25 {
+		t.Fatalf("power saving = %.2f, expected a modest positive fraction", pSave)
+	}
+	if eSave < 0.3 || eSave > 0.6 {
+		t.Fatalf("energy saving = %.2f, expected the ~40%% regime", eSave)
+	}
+}

@@ -1,0 +1,190 @@
+// Package serial is the data-interchange substrate: the text encodings the
+// benchmark inputs use (whitespace/newline-delimited integer and float
+// tokens, the formats §II motivates), the binary object encodings the
+// computation kernels consume (little-endian int32/int64/float32/float64
+// arrays), and native parsers that convert between them.
+//
+// The native parsers double as (a) the host-side deserializers of the
+// conventional baseline and (b) the native continuations of sampled
+// StorageApp execution — so a single implementation is bit-compared
+// against the interpreted MorphC StorageApps by the equivalence tests.
+package serial
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// FieldKind is the type of one whitespace-separated token.
+type FieldKind int
+
+// Field kinds.
+const (
+	FieldInt32 FieldKind = iota
+	FieldInt64
+	FieldFloat32
+	FieldFloat64
+)
+
+// Width returns the binary object size of the field.
+func (k FieldKind) Width() int {
+	switch k {
+	case FieldInt32, FieldFloat32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// IsFloat reports whether the token is float-formatted text.
+func (k FieldKind) IsFloat() bool { return k == FieldFloat32 || k == FieldFloat64 }
+
+// Tokenize splits b into whitespace/comma-separated tokens, returning the
+// byte ranges. It allocates only the index slice.
+func Tokenize(b []byte) [][]byte {
+	var out [][]byte
+	i := 0
+	for i < len(b) {
+		for i < len(b) && isSep(b[i]) {
+			i++
+		}
+		start := i
+		for i < len(b) && !isSep(b[i]) {
+			i++
+		}
+		if i > start {
+			out = append(out, b[start:i])
+		}
+	}
+	return out
+}
+
+func isSep(c byte) bool {
+	return c == ' ' || c == '\n' || c == '\t' || c == '\r' || c == ','
+}
+
+// ParseError describes a malformed token.
+type ParseError struct {
+	Token string
+	Err   error
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("serial: bad token %q: %v", e.Token, e.Err) }
+
+// TokenParser converts every token with one field kind — the shape of the
+// paper's flagship workload (ASCII integer streams). It is stateless, so
+// any record-aligned chunking works.
+type TokenParser struct {
+	Kind FieldKind
+}
+
+// Parse converts one chunk; malformed tokens panic via mustParse because
+// generated inputs are well-formed by construction (tests cover the error
+// path through ParseTokens).
+func (p TokenParser) Parse(chunk []byte, final bool) []byte {
+	out, err := ParseTokens(chunk, p.Kind)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ParseTokens converts all tokens in chunk to the binary encoding of kind.
+func ParseTokens(chunk []byte, kind FieldKind) ([]byte, error) {
+	toks := Tokenize(chunk)
+	out := make([]byte, 0, len(toks)*kind.Width())
+	for _, tok := range toks {
+		var err error
+		out, err = appendField(out, tok, kind)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func appendField(out []byte, tok []byte, kind FieldKind) ([]byte, error) {
+	if kind.IsFloat() {
+		f, err := strconv.ParseFloat(string(tok), 64)
+		if err != nil {
+			return nil, &ParseError{Token: string(tok), Err: err}
+		}
+		var buf [8]byte
+		if kind == FieldFloat32 {
+			binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(float32(f)))
+			return append(out, buf[:4]...), nil
+		}
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(f))
+		return append(out, buf[:8]...), nil
+	}
+	n, err := strconv.ParseInt(string(tok), 10, 64)
+	if err != nil {
+		return nil, &ParseError{Token: string(tok), Err: err}
+	}
+	var buf [8]byte
+	if kind == FieldInt32 {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(int32(n)))
+		return append(out, buf[:4]...), nil
+	}
+	binary.LittleEndian.PutUint64(buf[:8], uint64(n))
+	return append(out, buf[:8]...), nil
+}
+
+// RecordParser converts line-structured records whose tokens cycle
+// through Fields — e.g. the SpMV triples "row col value" with Fields
+// {Int32, Int32, Float64}. It is stateless across record-aligned chunks.
+type RecordParser struct {
+	Fields []FieldKind
+}
+
+// Parse converts one record-aligned chunk.
+func (p RecordParser) Parse(chunk []byte, final bool) []byte {
+	out, err := ParseRecords(chunk, p.Fields)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ParseRecords converts tokens cycling through the field kinds.
+func ParseRecords(chunk []byte, fields []FieldKind) ([]byte, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("serial: RecordParser needs at least one field")
+	}
+	toks := Tokenize(chunk)
+	if len(toks)%len(fields) != 0 {
+		return nil, fmt.Errorf("serial: %d tokens do not fill records of %d fields", len(toks), len(fields))
+	}
+	var out []byte
+	for i, tok := range toks {
+		var err error
+		out, err = appendField(out, tok, fields[i%len(fields)])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// FloatTextFraction estimates the fraction of input bytes that belong to
+// float-formatted tokens for a record layout, given the average token
+// widths. Used to parameterize the host parse-cost model per application.
+func FloatTextFraction(fields []FieldKind, avgIntWidth, avgFloatWidth float64) float64 {
+	if len(fields) == 0 {
+		return 0
+	}
+	var intB, fltB float64
+	for _, f := range fields {
+		if f.IsFloat() {
+			fltB += avgFloatWidth + 1 // token + separator
+		} else {
+			intB += avgIntWidth + 1
+		}
+	}
+	if intB+fltB == 0 {
+		return 0
+	}
+	return fltB / (intB + fltB)
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"container/heap"
+
+	"morpheus/internal/units"
+)
+
+// Event is a callback scheduled at a simulated time. Events fire in time
+// order; ties fire in scheduling order, which keeps runs deterministic.
+type Event struct {
+	At  units.Time
+	Fn  func(now units.Time)
+	seq int64
+	idx int
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	e.idx = -1
+	return e
+}
+
+// Engine is a small discrete-event loop for agents that need ordered
+// interleaving (the SSD firmware loop, interrupt delivery). Most models use
+// Resource/Pipe directly; the Engine exists for the cases where ordering
+// between independent agents matters.
+type Engine struct {
+	clock  *Clock
+	events eventHeap
+	seq    int64
+	fired  int64
+}
+
+// NewEngine returns an engine driving the given clock.
+func NewEngine(clock *Clock) *Engine {
+	return &Engine{clock: clock}
+}
+
+// Clock returns the engine's clock.
+func (e *Engine) Clock() *Clock { return e.clock }
+
+// Schedule queues fn to run at time at. Scheduling in the past (before the
+// clock's current time) panics.
+func (e *Engine) Schedule(at units.Time, fn func(now units.Time)) *Event {
+	if at < e.clock.Now() {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// ScheduleAfter queues fn to run d after the current time.
+func (e *Engine) ScheduleAfter(d units.Duration, fn func(now units.Time)) *Event {
+	return e.Schedule(e.clock.Now().Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or already-
+// cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 || ev.idx >= len(e.events) || e.events[ev.idx] != ev {
+		return
+	}
+	heap.Remove(&e.events, ev.idx)
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step fires the earliest event, advancing the clock to its time. It
+// reports false if no events are pending.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	e.clock.AdvanceTo(ev.At)
+	e.fired++
+	ev.Fn(ev.At)
+	return true
+}
+
+// Run fires events until none remain, returning the number fired.
+func (e *Engine) Run() int64 {
+	start := e.fired
+	for e.Step() {
+	}
+	return e.fired - start
+}
+
+// RunUntil fires events with time <= deadline, advancing the clock to the
+// deadline afterwards.
+func (e *Engine) RunUntil(deadline units.Time) {
+	for len(e.events) > 0 && e.events[0].At <= deadline {
+		e.Step()
+	}
+	if e.clock.Now() < deadline {
+		e.clock.AdvanceTo(deadline)
+	}
+}
+
+// Fired reports the total number of events fired.
+func (e *Engine) Fired() int64 { return e.fired }

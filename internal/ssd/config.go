@@ -1,0 +1,96 @@
+// Package ssd models Morpheus-SSD: a commercial NVMe SSD (flash array +
+// FTL + DRAM buffer + DMA engines + embedded cores) whose firmware is
+// extended with the four Morpheus commands. Conventional READ/WRITE reuse
+// the normal datapath untouched; MINIT/MREAD/MWRITE/MDEINIT additionally
+// run StorageApps on the embedded cores, exactly the split §IV-B
+// describes ("Morpheus-SSD leverages the existing read/write process and
+// the FTL of the baseline SSD ... Morpheus-SSD performs no changes to the
+// FTL").
+package ssd
+
+import (
+	"morpheus/internal/flash"
+	"morpheus/internal/ftl"
+	"morpheus/internal/mvm"
+	"morpheus/internal/units"
+)
+
+// Config describes the SSD hardware and firmware parameters.
+type Config struct {
+	Geometry flash.Geometry
+	Timing   flash.Timing
+	FTL      ftl.Config
+
+	// EmbeddedCores is the number of general-purpose cores in the
+	// controller (the paper's Microsemi controller has "multiple
+	// general-purpose embedded processor cores"). One runs a StorageApp
+	// instance at a time; instance IDs are pinned to cores.
+	EmbeddedCores int
+	// CoreFreq is the embedded core clock (controller-class Tensilica LX).
+	CoreFreq units.Frequency
+	// ISRAMSize bounds StorageApp code size (per core instruction SRAM).
+	ISRAMSize units.Bytes
+	// DRAMBandwidth is the controller DRAM buffer bandwidth; every byte
+	// crosses it once inbound (flash→DRAM) and once outbound (DRAM→DMA).
+	DRAMBandwidth units.Bandwidth
+	// DRAMSize is the buffer capacity (2 GB in the prototype).
+	DRAMSize units.Bytes
+
+	// FirmwareCmdCost is the firmware processing time per NVMe command.
+	FirmwareCmdCost units.Duration
+	// MDTS is the NVMe maximum data transfer size per I/O command; the
+	// Morpheus runtime splits streams into MREADs of this size ("the NVMe
+	// standard limits the data length of each I/O request ... the runtime
+	// system may break the request into multiple MREAD or MWRITE
+	// commands").
+	MDTS units.Bytes
+
+	// VM sizes the per-instance execution environment.
+	VM mvm.Config
+	// Cost is the embedded-core cycle model.
+	Cost mvm.CostModel
+
+	// SampledExecution enables the hybrid timing mode: the MVM runs the
+	// StorageApp exactly over the first SampleWindow bytes to measure
+	// cycles/byte, after which timing is extrapolated and the data plane
+	// is produced by the app's registered native equivalent. Disable for
+	// exact (slow) full interpretation.
+	SampledExecution bool
+	SampleWindow     units.Bytes
+
+	// LinkBandwidth is the PCIe link (x4 Gen3 in the prototype).
+	LinkBandwidth units.Bandwidth
+	LinkLatency   units.Duration
+
+	// MorpheusSupported advertises the four extension opcodes in the
+	// Identify page; turning it off models the stock baseline SSD ("an
+	// NVMe SSD with the same hardware configuration").
+	MorpheusSupported bool
+}
+
+// DefaultConfig matches the prototype in §VI-A.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:         flash.DefaultGeometry(),
+		Timing:           flash.DefaultTiming(),
+		FTL:              ftl.DefaultConfig(),
+		EmbeddedCores:    4,
+		CoreFreq:         830 * units.MHz,
+		ISRAMSize:        128 * units.KiB,
+		DRAMBandwidth:    6.4 * units.GBps,
+		DRAMSize:         2 * units.GiB,
+		FirmwareCmdCost:  1500 * units.Nanosecond,
+		MDTS:             128 * units.KiB,
+		VM:               mvm.DefaultConfig(),
+		Cost:             mvm.DefaultCostModel(),
+		SampledExecution: true,
+		SampleWindow:     256 * units.KiB,
+		LinkBandwidth:    3.94 * units.GBps,
+		LinkLatency:      300 * units.Nanosecond,
+
+		MorpheusSupported: true,
+	}
+}
+
+// EndpointName is the SSD's name on the PCIe fabric.
+const EndpointName = "ssd"

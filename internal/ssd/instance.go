@@ -1,0 +1,192 @@
+package ssd
+
+import (
+	"fmt"
+
+	"morpheus/internal/mvm"
+	"morpheus/internal/units"
+)
+
+// NativeFunc is the native-parser equivalent of a StorageApp, used by the
+// sampled-execution mode for the data plane. It receives a record-aligned
+// (newline-terminated) chunk of the input stream (final==true for the last
+// one, which may lack a trailing newline) and returns the output bytes the
+// StorageApp would have emitted for it. Correctness tests assert
+// NativeFunc ≡ the interpreted StorageApp on whole inputs. Implementations
+// may be stateful closures; a fresh one is created per MINIT.
+type NativeFunc func(chunk []byte, final bool, args []int64) []byte
+
+// instance is one StorageApp execution (one MINIT..MDEINIT lifetime),
+// pinned to an embedded core by its instance ID.
+//
+// Execution modes (DESIGN.md §1 "sampled execution"):
+//
+//   - exact (native == nil or sampling disabled): the MVM interprets the
+//     whole stream; its outputs are the data plane and its cycle counter
+//     is the timing plane.
+//   - sampled: the MVM interprets only the first SampleWindow bytes as a
+//     timing rig (outputs discarded); the data plane comes entirely from
+//     the native continuation, and every chunk is charged the measured
+//     cycles/byte. This keeps multi-gigabyte streams affordable while
+//     preserving the app-specific cost (integer vs softfloat token mix).
+type instance struct {
+	id      uint32
+	coreIdx int
+	prog    *mvm.Program
+	vm      *mvm.VM
+	args    []int64
+	native  NativeFunc
+	sampled bool // sampled mode active (native != nil && cfg.SampledExecution)
+
+	cpb      float64 // measured cycles per input byte
+	carry    []byte  // partial trailing record for the native parser
+	finished bool
+	retVal   int64
+
+	inBytes  int64
+	outBytes int64
+	cycles   float64
+
+	// lastVMEnd orders chunk execution slots on the pinned core.
+	lastVMEnd units.Time
+}
+
+func newInstance(id uint32, coreIdx int, prog *mvm.Program, args []int64, native NativeFunc, sampled bool, cfg mvm.Config, cost mvm.CostModel) (*instance, error) {
+	vm, err := mvm.New(prog, cfg, cost)
+	if err != nil {
+		return nil, err
+	}
+	vm.SetArgs(args)
+	return &instance{
+		id:      id,
+		coreIdx: coreIdx,
+		prog:    prog,
+		vm:      vm,
+		args:    args,
+		native:  native,
+		sampled: sampled && native != nil,
+	}, nil
+}
+
+// chunkResult is the outcome of processing one MREAD chunk.
+type chunkResult struct {
+	out    []byte  // object bytes to DMA to the destination
+	cycles float64 // embedded-core cycles charged
+	halted bool
+}
+
+// processChunk runs the StorageApp over one stream chunk.
+func (in *instance) processChunk(chunk []byte, final bool, sampleWindow int64) (chunkResult, error) {
+	if in.finished {
+		return chunkResult{}, fmt.Errorf("ssd: instance %d already finished its stream", in.id)
+	}
+	in.inBytes += int64(len(chunk))
+	if !in.sampled {
+		res, err := in.interpretChunk(chunk, final)
+		if err == nil {
+			in.cycles += res.cycles
+			in.outBytes += int64(len(res.out))
+			if res.halted {
+				in.finished = true
+				in.retVal = in.vm.ReturnValue()
+			}
+		}
+		return res, err
+	}
+	// Sampled mode: keep the timing rig running over the sample window.
+	if in.vm != nil && in.vm.Consumed() < sampleWindow {
+		rigFinal := final
+		if _, err := in.interpretChunk(chunk, rigFinal); err != nil {
+			return chunkResult{}, err
+		}
+	}
+	in.updateCPB()
+	cyc := in.cpb * float64(len(chunk))
+	aligned := in.align(chunk, final)
+	var out []byte
+	if len(aligned) > 0 || final {
+		out = in.native(aligned, final, in.args)
+	}
+	in.cycles += cyc
+	in.outBytes += int64(len(out))
+	if final {
+		in.finished = true
+		// Sampled-mode MDEINIT result: total object bytes produced (the
+		// exact app-defined value lives inside the abandoned timing rig).
+		in.retVal = in.outBytes
+	}
+	return chunkResult{out: out, cycles: cyc, halted: final}, nil
+}
+
+func (in *instance) updateCPB() {
+	if in.vm == nil {
+		return
+	}
+	if c := in.vm.Consumed(); c > 0 {
+		in.cpb = in.vm.Cycles() / float64(c)
+	} else if in.cpb == 0 {
+		in.cpb = 2.0 // degenerate default before any token is consumed
+	}
+	if st := in.vm.State(); st == mvm.StateHalted || st == mvm.StateTrapped {
+		in.vm = nil // rig done; freeze cpb
+	}
+}
+
+// interpretChunk feeds the VM one chunk and runs it to quiescence,
+// draining outputs as they fill. It does not update instance accounting;
+// callers decide whether the VM is the data plane or just the timing rig.
+func (in *instance) interpretChunk(chunk []byte, final bool) (chunkResult, error) {
+	startCycles := in.vm.Cycles()
+	if err := in.vm.Feed(chunk, final); err != nil {
+		return chunkResult{}, err
+	}
+	var out []byte
+	for {
+		switch st := in.vm.Run(); st {
+		case mvm.StateNeedInput:
+			return chunkResult{out: out, cycles: in.vm.Cycles() - startCycles}, nil
+		case mvm.StateOutputFull, mvm.StateFlushRequested:
+			out = append(out, in.vm.DrainOutput()...)
+		case mvm.StateHalted:
+			out = append(out, in.vm.DrainOutput()...)
+			return chunkResult{out: out, cycles: in.vm.Cycles() - startCycles, halted: true}, nil
+		case mvm.StateTrapped:
+			return chunkResult{}, fmt.Errorf("ssd: StorageApp %q trapped: %w", in.prog.Name, in.vm.TrapErr())
+		default:
+			return chunkResult{}, fmt.Errorf("ssd: unexpected VM state %v", st)
+		}
+	}
+}
+
+// align prepends the carried partial record and cuts the chunk at the
+// last record (newline) boundary, carrying the tail to the next call.
+// With final==true everything is flushed.
+func (in *instance) align(chunk []byte, final bool) []byte {
+	buf := append(in.carry, chunk...)
+	in.carry = nil
+	if final {
+		return buf
+	}
+	i := len(buf) - 1
+	for i >= 0 && buf[i] != '\n' {
+		i--
+	}
+	if i < 0 {
+		in.carry = buf
+		return nil
+	}
+	in.carry = append([]byte(nil), buf[i+1:]...)
+	return buf[:i+1]
+}
+
+// CyclesPerByte reports the instance's measured cycle rate.
+func (in *instance) CyclesPerByte() float64 {
+	if in.sampled {
+		in.updateCPB()
+		return in.cpb
+	}
+	if c := in.inBytes; c > 0 {
+		return in.cycles / float64(c)
+	}
+	return 0
+}

@@ -1,0 +1,310 @@
+package ssd
+
+import (
+	"bytes"
+	"testing"
+
+	"morpheus/internal/flash"
+	"morpheus/internal/morphc"
+	"morpheus/internal/nvme"
+	"morpheus/internal/serial"
+	"morpheus/internal/stats"
+	"morpheus/internal/units"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Geometry = flash.Geometry{
+		Channels: 4, DiesPerChannel: 1, PlanesPerDie: 2,
+		BlocksPerPlane: 32, PagesPerBlock: 32, PageSize: 16 * units.KiB,
+	}
+	return cfg
+}
+
+func newController(t *testing.T, mutate func(*Config)) *Controller {
+	t.Helper()
+	cfg := testConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg, stats.NewSet(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+const intAppSrc = `
+StorageApp int app(ms_stream s) {
+	int v;
+	int n = 0;
+	while (ms_scanf(s, "%d", &v) == 1) { ms_emit_i32(v); n++; }
+	ms_memcpy();
+	return n;
+}
+`
+
+func compile(t *testing.T, src string) []byte {
+	t.Helper()
+	prog, err := morphc.Compile(src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := prog.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestConventionalWriteReadRoundTrip(t *testing.T) {
+	c := newController(t, nil)
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 1024) // 16 KiB
+	wctx := &CmdContext{
+		Cmd:  nvme.BuildWrite(0, 0, uint32(len(payload)/nvme.LBASize), 0),
+		Data: payload,
+	}
+	comp, _ := c.Submit(0, wctx)
+	if comp.Status != nvme.StatusSuccess {
+		t.Fatalf("write status %v", comp.Status)
+	}
+	var got []byte
+	rctx := &CmdContext{
+		Cmd:  nvme.BuildRead(0, 0, uint32(len(payload)/nvme.LBASize), 0),
+		Sink: func(p []byte) { got = append(got, p...) },
+	}
+	comp, done := c.Submit(0, rctx)
+	if comp.Status != nvme.StatusSuccess {
+		t.Fatalf("read status %v", comp.Status)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read back %d bytes, mismatch", len(got))
+	}
+	if done <= 0 {
+		t.Fatal("read must take simulated time")
+	}
+}
+
+func TestReadUnmappedLBAFails(t *testing.T) {
+	c := newController(t, nil)
+	ctx := &CmdContext{Cmd: nvme.BuildRead(0, 999999, 1, 0)}
+	comp, _ := c.Submit(0, ctx)
+	if comp.Status == nvme.StatusSuccess {
+		t.Fatal("read of unmapped LBA must fail")
+	}
+}
+
+func TestMorpheusLifecycle(t *testing.T) {
+	c := newController(t, func(cfg *Config) { cfg.SampledExecution = false })
+	input := []byte("11 22 33 44\n55 66\n")
+	slba, nlb, err := c.LoadFile(0, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := compile(t, intAppSrc)
+	comp, _ := c.Submit(0, &CmdContext{
+		Cmd:  nvme.BuildMInit(0, 0, uint32(len(img)), 1, 0, 0),
+		Code: img,
+	})
+	if comp.Status != nvme.StatusSuccess {
+		t.Fatalf("MINIT status %v", comp.Status)
+	}
+	if c.Instances() != 1 {
+		t.Fatalf("instances = %d", c.Instances())
+	}
+	var out []byte
+	comp, _ = c.Submit(0, &CmdContext{
+		Cmd:        nvme.BuildMRead(0, slba, nlb, 1, 0),
+		Sink:       func(p []byte) { out = append(out, p...) },
+		LastChunk:  true,
+		ValidBytes: len(input),
+	})
+	if comp.Status != nvme.StatusSuccess {
+		t.Fatalf("MREAD status %v", comp.Status)
+	}
+	vals := serial.DecodeI32(out)
+	want := []int32{11, 22, 33, 44, 55, 66}
+	if len(vals) != len(want) {
+		t.Fatalf("decoded %v", vals)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	comp, _ = c.Submit(0, &CmdContext{Cmd: nvme.BuildMDeinit(0, 1)})
+	if comp.Status != nvme.StatusSuccess {
+		t.Fatalf("MDEINIT status %v", comp.Status)
+	}
+	if comp.Result != 6 {
+		t.Fatalf("StorageApp return value = %d, want 6", comp.Result)
+	}
+	if c.Instances() != 0 {
+		t.Fatal("MDEINIT must free the instance")
+	}
+}
+
+func TestMReadWithoutInstance(t *testing.T) {
+	c := newController(t, nil)
+	comp, _ := c.Submit(0, &CmdContext{Cmd: nvme.BuildMRead(0, 0, 1, 42, 0)})
+	if comp.Status != nvme.StatusNoInstance {
+		t.Fatalf("status = %v, want NoInstance", comp.Status)
+	}
+	comp, _ = c.Submit(0, &CmdContext{Cmd: nvme.BuildMDeinit(0, 42)})
+	if comp.Status != nvme.StatusNoInstance {
+		t.Fatalf("deinit status = %v", comp.Status)
+	}
+}
+
+func TestMInitRejects(t *testing.T) {
+	c := newController(t, nil)
+	img := compile(t, intAppSrc)
+	// Duplicate instance ID.
+	c.Submit(0, &CmdContext{Cmd: nvme.BuildMInit(0, 0, uint32(len(img)), 1, 0, 0), Code: img})
+	comp, _ := c.Submit(0, &CmdContext{Cmd: nvme.BuildMInit(0, 0, uint32(len(img)), 1, 0, 0), Code: img})
+	if comp.Status == nvme.StatusSuccess {
+		t.Fatal("duplicate instance must be rejected")
+	}
+	// Garbage image.
+	comp, _ = c.Submit(0, &CmdContext{Cmd: nvme.BuildMInit(0, 0, 16, 2, 0, 0), Code: []byte("not an image....")})
+	if comp.Status == nvme.StatusSuccess {
+		t.Fatal("bad image must be rejected")
+	}
+	// Oversized image vs I-SRAM.
+	big := make([]byte, testConfig().ISRAMSize+1)
+	copy(big, img)
+	comp, _ = c.Submit(0, &CmdContext{Cmd: nvme.BuildMInit(0, 0, uint32(len(big)), 3, 0, 0), Code: big})
+	if comp.Status != nvme.StatusSRAMOverflow {
+		t.Fatalf("oversized image status = %v", comp.Status)
+	}
+}
+
+func TestInvalidOpcode(t *testing.T) {
+	c := newController(t, nil)
+	comp, _ := c.Submit(0, &CmdContext{Cmd: nvme.Command{Opcode: 0x7F}})
+	if comp.Status != nvme.StatusInvalidOpcode {
+		t.Fatalf("status = %v", comp.Status)
+	}
+}
+
+func TestInstanceCorePinning(t *testing.T) {
+	c := newController(t, func(cfg *Config) { cfg.SampledExecution = false })
+	img := compile(t, intAppSrc)
+	input := []byte("1 2 3 4 5 6 7 8\n")
+	slba, nlb, _ := c.LoadFile(0, input)
+	n := len(c.Cores())
+	for id := uint32(1); id <= uint32(n); id++ {
+		c.Submit(0, &CmdContext{Cmd: nvme.BuildMInit(0, 0, uint32(len(img)), id, 0, 0), Code: img})
+		c.Submit(0, &CmdContext{
+			Cmd: nvme.BuildMRead(0, slba, nlb, id, 0), LastChunk: true, ValidBytes: len(input),
+		})
+	}
+	busyCores := 0
+	for _, core := range c.Cores() {
+		if core.BusyTime() > 0 {
+			busyCores++
+		}
+	}
+	if busyCores != n {
+		t.Fatalf("instance pinning spread work over %d of %d cores", busyCores, n)
+	}
+}
+
+func TestSampledMatchesExactDataPlane(t *testing.T) {
+	input := []byte("100 200 300\n400 500 600\n700 800\n")
+	run := func(sampled bool) []byte {
+		c := newController(t, func(cfg *Config) {
+			cfg.SampledExecution = sampled
+			cfg.SampleWindow = 8 // force the handoff mid-stream
+		})
+		slba, nlb, _ := c.LoadFile(0, input)
+		img := compile(t, intAppSrc)
+		ctx := &CmdContext{Cmd: nvme.BuildMInit(0, 0, uint32(len(img)), 1, 0, 0), Code: img}
+		if sampled {
+			p := serial.TokenParser{Kind: serial.FieldInt32}
+			ctx.Native = func(chunk []byte, final bool, args []int64) []byte {
+				return p.Parse(chunk, final)
+			}
+		}
+		c.Submit(0, ctx)
+		var out []byte
+		comp, _ := c.Submit(0, &CmdContext{
+			Cmd:        nvme.BuildMRead(0, slba, nlb, 1, 0),
+			Sink:       func(p []byte) { out = append(out, p...) },
+			LastChunk:  true,
+			ValidBytes: len(input),
+		})
+		if comp.Status != nvme.StatusSuccess {
+			t.Fatalf("MREAD status %v (sampled=%v)", comp.Status, sampled)
+		}
+		return out
+	}
+	exact := run(false)
+	sampled := run(true)
+	if !bytes.Equal(exact, sampled) {
+		t.Fatalf("sampled data plane differs: exact %d bytes, sampled %d bytes", len(exact), len(sampled))
+	}
+}
+
+func TestMWriteSerializesToFlash(t *testing.T) {
+	serSrc := `
+StorageApp int ser(ms_stream s) {
+	int b = ms_read_byte(s);
+	while (b >= 0) {
+		ms_printf("%d ", b);
+		b = ms_read_byte(s);
+	}
+	ms_memcpy();
+	return 0;
+}
+`
+	c := newController(t, nil)
+	// Reserve the destination extent.
+	if _, _, err := c.LoadFile(0, make([]byte, 64*units.KiB)); err != nil {
+		t.Fatal(err)
+	}
+	img := compile(t, serSrc)
+	c.Submit(0, &CmdContext{Cmd: nvme.BuildMInit(0, 0, uint32(len(img)), 1, 0, 0), Code: img})
+	var written []byte
+	comp, _ := c.Submit(0, &CmdContext{
+		Cmd:       nvme.BuildMWrite(0, 0, 1, 1, 0),
+		Data:      []byte{7, 8, 9},
+		LastChunk: true,
+		Sink:      func(p []byte) { written = append(written, p...) },
+	})
+	if comp.Status != nvme.StatusSuccess {
+		t.Fatalf("MWRITE status %v", comp.Status)
+	}
+	if string(written) != "7 8 9 " {
+		t.Fatalf("serialized %q", written)
+	}
+	// The text landed on flash at the target LBA.
+	var back []byte
+	c.Submit(0, &CmdContext{
+		Cmd:  nvme.BuildRead(0, 0, 1, 0),
+		Sink: func(p []byte) { back = append(back, p...) },
+	})
+	if !bytes.HasPrefix(back, []byte("7 8 9 ")) {
+		t.Fatalf("flash contains %q", back[:16])
+	}
+}
+
+func TestTrapSurfacesAsAppFault(t *testing.T) {
+	trapSrc := `
+StorageApp int boom(ms_stream s) {
+	int z = 0;
+	return 1 / z;
+}
+`
+	c := newController(t, nil)
+	input := []byte("1\n")
+	slba, nlb, _ := c.LoadFile(0, input)
+	img := compile(t, trapSrc)
+	c.Submit(0, &CmdContext{Cmd: nvme.BuildMInit(0, 0, uint32(len(img)), 1, 0, 0), Code: img})
+	comp, _ := c.Submit(0, &CmdContext{
+		Cmd: nvme.BuildMRead(0, slba, nlb, 1, 0), LastChunk: true, ValidBytes: len(input),
+	})
+	if comp.Status != nvme.StatusAppFault {
+		t.Fatalf("status = %v, want AppFault", comp.Status)
+	}
+}

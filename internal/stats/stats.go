@@ -1,0 +1,141 @@
+// Package stats provides the measurement infrastructure every experiment
+// reads: named counters, per-phase time breakdowns, and traffic meters.
+// Every table and figure in EXPERIMENTS.md is rendered from these values;
+// the hardware models only ever write into them.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"morpheus/internal/units"
+)
+
+// Counter names used across the simulator. Models may define additional
+// ad-hoc counters; these are the ones the experiment harness depends on.
+const (
+	CtxSwitches     = "os.context_switches"
+	Syscalls        = "os.syscalls"
+	PageFaults      = "os.page_faults"
+	PCIeHostBytes   = "pcie.host_bytes"   // device <-> host DRAM
+	PCIeP2PBytes    = "pcie.p2p_bytes"    // device <-> device
+	MemBusBytes     = "membus.bytes"      // CPU-memory bus traffic
+	FlashReadBytes  = "flash.read_bytes"  // bytes read from NAND
+	FlashWriteBytes = "flash.write_bytes" // bytes programmed to NAND
+	NVMeCommands    = "nvme.commands"
+	MorphCommands   = "nvme.morpheus_commands"
+	StorageAppCyc   = "ssd.storageapp_cycles"
+	HostParseCyc    = "host.parse_cycles"
+	DMATransfers    = "dma.transfers"
+)
+
+// Set is a bag of named int64 counters. The zero value is not usable; call
+// NewSet.
+type Set struct {
+	counters map[string]int64
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set { return &Set{counters: make(map[string]int64)} }
+
+// Add increments counter name by v.
+func (s *Set) Add(name string, v int64) { s.counters[name] += v }
+
+// AddBytes increments counter name by a byte count.
+func (s *Set) AddBytes(name string, v units.Bytes) { s.counters[name] += int64(v) }
+
+// Get returns the value of counter name (zero if never written).
+func (s *Set) Get(name string) int64 { return s.counters[name] }
+
+// Bytes returns the value of counter name as a byte count.
+func (s *Set) Bytes(name string) units.Bytes { return units.Bytes(s.counters[name]) }
+
+// Reset clears all counters.
+func (s *Set) Reset() { s.counters = make(map[string]int64) }
+
+// Names returns all counter names in sorted order.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders all counters, one per line, sorted by name.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		fmt.Fprintf(&b, "%s=%d\n", n, s.counters[n])
+	}
+	return b.String()
+}
+
+// Phase identifies a section of application execution time. These match
+// the legend of Figure 2 in the paper.
+type Phase string
+
+// Phases of the Figure 2 breakdown.
+const (
+	PhaseDeserialize Phase = "deserialization"
+	PhaseCPUCompute  Phase = "other_cpu"
+	PhaseGPUCopy     Phase = "gpu_cpu_copy"
+	PhaseGPUKernel   Phase = "gpu_kernel"
+	PhaseSerialize   Phase = "serialization"
+)
+
+// Breakdown accumulates wall-clock (simulated) time per phase.
+type Breakdown struct {
+	phases map[Phase]units.Duration
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown { return &Breakdown{phases: make(map[Phase]units.Duration)} }
+
+// Add charges d to phase p.
+func (b *Breakdown) Add(p Phase, d units.Duration) { b.phases[p] += d }
+
+// Get returns the accumulated time of phase p.
+func (b *Breakdown) Get(p Phase) units.Duration { return b.phases[p] }
+
+// Total returns the sum over all phases.
+func (b *Breakdown) Total() units.Duration {
+	var t units.Duration
+	for _, d := range b.phases {
+		t += d
+	}
+	return t
+}
+
+// Fraction returns phase p's share of the total, or 0 for an empty
+// breakdown.
+func (b *Breakdown) Fraction(p Phase) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.phases[p]) / float64(t)
+}
+
+// Phases returns the phases present, in a fixed canonical order.
+func (b *Breakdown) Phases() []Phase {
+	order := []Phase{PhaseDeserialize, PhaseCPUCompute, PhaseGPUCopy, PhaseGPUKernel, PhaseSerialize}
+	var out []Phase
+	for _, p := range order {
+		if _, ok := b.phases[p]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// String renders the breakdown as "phase=dur (pct)" terms.
+func (b *Breakdown) String() string {
+	var parts []string
+	for _, p := range b.Phases() {
+		parts = append(parts, fmt.Sprintf("%s=%v (%.0f%%)", p, b.phases[p], 100*b.Fraction(p)))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,154 @@
+// Package trace records simulated-time event spans from the hardware
+// models — NVMe commands, StorageApp execution slots, DMA transfers,
+// host-side waits — and renders them as a per-track timeline. It exists
+// for observability: when a pipeline does not overlap the way a figure
+// expects, the timeline shows which unit serialized.
+//
+// A nil *Tracer is valid and records nothing, so the models can call it
+// unconditionally.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"morpheus/internal/units"
+)
+
+// Event is one span on a track.
+type Event struct {
+	Track  string // the unit: "nvme", "ssd.core1", "pcie", "host" ...
+	Name   string // what happened: "MREAD", "vm-exec", "dma-out" ...
+	Detail string
+	Start  units.Time
+	End    units.Time
+}
+
+// Duration returns the span length.
+func (e Event) Duration() units.Duration { return e.End.Sub(e.Start) }
+
+// Tracer accumulates events. The zero value is ready to use.
+type Tracer struct {
+	events []Event
+	// Cap bounds memory for long runs (0 = unlimited); once exceeded,
+	// further events are dropped and Dropped counts them.
+	Cap     int
+	dropped int64
+}
+
+// New returns a tracer bounded to cap events (0 = unbounded).
+func New(cap int) *Tracer { return &Tracer{Cap: cap} }
+
+// Record appends an event. Safe on a nil tracer.
+func (t *Tracer) Record(track, name, detail string, start, end units.Time) {
+	if t == nil {
+		return
+	}
+	if t.Cap > 0 && len(t.events) >= t.Cap {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, Event{Track: track, Name: name, Detail: detail, Start: start, End: end})
+}
+
+// Len reports the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped reports events lost to the cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns a copy of the recorded events sorted by start time.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Tracks returns the distinct track names, sorted.
+func (t *Tracer) Tracks() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range t.Events() {
+		if !seen[e.Track] {
+			seen[e.Track] = true
+			out = append(out, e.Track)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTimeline renders the events in start order, one line each.
+func (t *Tracer) WriteTimeline(w io.Writer) {
+	for _, e := range t.Events() {
+		fmt.Fprintf(w, "%12v  %-12s %-10s %-12v %s\n", e.Start, e.Track, e.Name, e.Duration(), e.Detail)
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(w, "(%d events dropped at cap %d)\n", d, t.Cap)
+	}
+}
+
+// WriteGantt renders a coarse per-track utilization chart over the traced
+// horizon: each track is a row of width cells, '#' where the track has at
+// least one event in flight.
+func (t *Tracer) WriteGantt(w io.Writer, width int) {
+	events := t.Events()
+	if len(events) == 0 || width <= 0 {
+		return
+	}
+	var horizon units.Time
+	for _, e := range events {
+		if e.End > horizon {
+			horizon = e.End
+		}
+	}
+	if horizon == 0 {
+		return
+	}
+	cell := func(x units.Time) int {
+		i := int(int64(x) * int64(width) / int64(horizon))
+		if i >= width {
+			i = width - 1
+		}
+		return i
+	}
+	for _, track := range t.Tracks() {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range events {
+			if e.Track != track {
+				continue
+			}
+			for i := cell(e.Start); i <= cell(e.End); i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(w, "%-14s |%s|\n", track, row)
+	}
+	fmt.Fprintf(w, "%-14s  0%*v\n", "", width, units.Duration(horizon))
+}
+
+// String renders the timeline.
+func (t *Tracer) String() string {
+	var sb strings.Builder
+	t.WriteTimeline(&sb)
+	return sb.String()
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"morpheus/internal/units"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record("a", "b", "c", 0, 1)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+}
+
+func TestRecordAndOrdering(t *testing.T) {
+	tr := New(0)
+	tr.Record("nvme", "READ", "", 100, 200)
+	tr.Record("ssd.core0", "storageapp", "", 50, 150)
+	tr.Record("nvme", "MREAD", "", 50, 120)
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	if ev[0].Start != 50 || ev[2].Start != 100 {
+		t.Fatalf("not sorted: %+v", ev)
+	}
+	if ev[0].Duration() != 100 && ev[1].Duration() != 70 {
+		t.Fatalf("durations wrong")
+	}
+	tracks := tr.Tracks()
+	if len(tracks) != 2 || tracks[0] != "nvme" || tracks[1] != "ssd.core0" {
+		t.Fatalf("tracks = %v", tracks)
+	}
+}
+
+func TestCapDrops(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 5; i++ {
+		tr.Record("t", "e", "", units.Time(i), units.Time(i+1))
+	}
+	if tr.Len() != 2 || tr.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	if !strings.Contains(tr.String(), "dropped") {
+		t.Fatal("timeline must mention drops")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tr := New(0)
+	tr.Record("cpu", "parse", "", 0, units.Time(50*units.Millisecond))
+	tr.Record("ssd", "read", "", units.Time(50*units.Millisecond), units.Time(100*units.Millisecond))
+	var sb strings.Builder
+	tr.WriteGantt(&sb, 20)
+	out := sb.String()
+	if !strings.Contains(out, "cpu") || !strings.Contains(out, "ssd") {
+		t.Fatalf("gantt missing tracks:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	cpuRow, ssdRow := lines[0], lines[1]
+	// cpu busy in the first half, ssd in the second.
+	if !strings.Contains(cpuRow, "#") || !strings.Contains(ssdRow, "#") {
+		t.Fatalf("rows empty:\n%s", out)
+	}
+	if strings.Index(cpuRow, "#") > strings.Index(ssdRow, "#") {
+		t.Fatalf("cpu should start before ssd:\n%s", out)
+	}
+	// Empty tracer renders nothing.
+	var empty strings.Builder
+	New(0).WriteGantt(&empty, 20)
+	if empty.Len() != 0 {
+		t.Fatal("empty gantt must render nothing")
+	}
+}
