@@ -9,7 +9,7 @@
 //	morpheusbench -list                   # show the experiment index
 //
 // Experiments: table1, fig2, fig3, profile, fig8, fig9, fig10, traffic,
-// endtoend, slowhost, multiprog, serialize, ablation, all.
+// endtoend, slowhost, multiprog, serialize, faults, ablation, all.
 package main
 
 import (
@@ -117,6 +117,13 @@ func experiments() []experiment {
 		})},
 		{"serialize", "MWRITE serialization (E13, extension)", one(func(o exp.Options) (*exp.Table, error) {
 			r, err := exp.RunSerialize(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"faults", "fault campaign — retries and degraded mode (E14, extension)", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunFaults(o)
 			if err != nil {
 				return nil, err
 			}

@@ -24,6 +24,11 @@ const (
 	// ModeMorpheusP2P additionally streams objects straight to GPU device
 	// memory over NVMe-P2P (Figure 4, step 5).
 	ModeMorpheusP2P
+	// ModeMorpheusFallback is ModeMorpheus with degraded-mode handling: if
+	// the device path fails persistently (or the controller lacks the
+	// Morpheus opcodes), each shard is served by the conventional host
+	// parser instead of failing the run.
+	ModeMorpheusFallback
 )
 
 // String names the mode.
@@ -35,6 +40,8 @@ func (m Mode) String() string {
 		return "morpheus"
 	case ModeMorpheusP2P:
 		return "morpheus+p2p"
+	case ModeMorpheusFallback:
+		return "morpheus+fallback"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -76,6 +83,11 @@ type Report struct {
 	// count.
 	CyclesPerByte float64
 	Commands      int
+
+	// Fallbacks counts shards the degraded host path served instead of
+	// the SSD; Retries counts device-path replays across all shards.
+	Fallbacks int
+	Retries   int
 
 	// Objects is the per-thread object stream (data plane), for
 	// verification.
@@ -152,11 +164,18 @@ func Run(sys *core.System, app *App, files []*core.File, mode Mode) (*Report, er
 			rep.Objects = append(rep.Objects, res.Out)
 			rep.Commands += res.Commands
 		}
-	case ModeMorpheus, ModeMorpheusP2P:
-		for _, f := range files {
+	case ModeMorpheus, ModeMorpheusP2P, ModeMorpheusFallback:
+		for i, f := range files {
 			opt := core.InvokeOptions{App: app.StorageApp(), File: f}
 			if mode == ModeMorpheusP2P {
 				opt.Dest = core.Target{OnGPU: true}
+			}
+			if mode == ModeMorpheusFallback {
+				opt.Fallback = &core.Fallback{
+					Parser:  app.HostParser,
+					Spec:    app.Spec,
+					CoreIdx: i,
+				}
 			}
 			res, err := sys.InvokeStorageApp(0, opt)
 			if err != nil {
@@ -169,7 +188,14 @@ func Run(sys *core.System, app *App, files []*core.File, mode Mode) (*Report, er
 			rep.ObjBytes += units.Bytes(len(res.Out))
 			rep.Objects = append(rep.Objects, res.Out)
 			rep.Commands += res.Commands
-			rep.CyclesPerByte = res.CyclesPerByte
+			if res.Path == core.PathMorpheus {
+				rep.CyclesPerByte = res.CyclesPerByte
+			} else {
+				rep.Fallbacks++
+			}
+			if res.Attempts > 1 {
+				rep.Retries += res.Attempts - 1
+			}
 		}
 	default:
 		return nil, fmt.Errorf("apps: unknown mode %v", mode)

@@ -3,6 +3,8 @@ package apps
 import (
 	"testing"
 
+	"morpheus/internal/core"
+	"morpheus/internal/flash"
 	"morpheus/internal/units"
 )
 
@@ -11,6 +13,130 @@ import (
 // every experiment relies on: phases are non-negative and sum to the
 // total, byte accounting is consistent, deserialization produces output,
 // and the two Morpheus modes deliver identical objects.
+// TestDifferentialAcrossSeeds is the cross-path oracle at sweep width:
+// for every application and a spread of workload seeds, the StorageApp
+// running on the simulated SSD must produce byte-for-byte the objects the
+// host parser produces — the property the whole reproduction leans on.
+func TestDifferentialAcrossSeeds(t *testing.T) {
+	seeds := []int64{1, 7, 77, 20160618, 424242}
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			for _, seed := range seeds {
+				sysB := newSystem(t, app.UsesGPU, nil)
+				filesB, _, err := Stage(sysB, app, testScale, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sysB.ResetTimers()
+				base, err := Run(sysB, app, filesB, ModeBaseline)
+				if err != nil {
+					t.Fatalf("seed %d baseline: %v", seed, err)
+				}
+				sysM := newSystem(t, app.UsesGPU, nil)
+				filesM, _, err := Stage(sysM, app, testScale, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sysM.ResetTimers()
+				morph, err := Run(sysM, app, filesM, ModeMorpheus)
+				if err != nil {
+					t.Fatalf("seed %d morpheus: %v", seed, err)
+				}
+				if err := VerifyObjects(base, morph); err != nil {
+					t.Fatalf("seed %d: StorageApp and host parser disagree: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestFallbackMidStreamEquivalence injects uncorrectable media faults so
+// the MREAD train fails partway through, forcing InvokeStorageApp to
+// abandon the device path mid-stream and re-serve shards through the host
+// (and, since the local flash has lost the pages, the replica). The
+// degraded runs must still produce exactly the clean baseline's objects.
+func TestFallbackMidStreamEquivalence(t *testing.T) {
+	totalFallbacks := 0
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			sysB := newSystem(t, app.UsesGPU, nil)
+			filesB, _, err := Stage(sysB, app, testScale, 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sysB.ResetTimers()
+			base, err := Run(sysB, app, filesB, ModeBaseline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sysF := newSystem(t, app.UsesGPU, nil)
+			filesF, _, err := Stage(sysF, app, testScale, 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Half the pages are lost: enough that every shard's train dies
+			// somewhere mid-stream, while block retirement still has
+			// readable neighbours to relocate.
+			sysF.SSD.Flash.SetFaultModel(flash.FaultModel{UncorrectablePerM: 500_000, Seed: 13})
+			sysF.ResetTimers()
+			deg, err := Run(sysF, app, filesF, ModeMorpheusFallback)
+			if err != nil {
+				t.Fatalf("degraded run failed outright: %v", err)
+			}
+			if err := VerifyObjects(base, deg); err != nil {
+				t.Fatalf("fallback objects differ from baseline: %v", err)
+			}
+			totalFallbacks += deg.Fallbacks
+			if sysF.SSD.Instances() != 0 {
+				t.Fatalf("degraded run leaked %d execution slots", sysF.SSD.Instances())
+			}
+		})
+	}
+	if totalFallbacks == 0 {
+		t.Fatal("fault injection never forced a fallback; the scenario tests nothing")
+	}
+}
+
+// TestFallbackWithoutMorpheusSupport runs the fallback mode against a
+// stock controller: every shard must be served by the host path.
+func TestFallbackWithoutMorpheusSupport(t *testing.T) {
+	for _, app := range All()[:3] {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			sysB := newSystem(t, app.UsesGPU, nil)
+			filesB, _, err := Stage(sysB, app, testScale, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sysB.ResetTimers()
+			base, err := Run(sysB, app, filesB, ModeBaseline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sysN := newSystem(t, app.UsesGPU, func(cfg *core.SystemConfig) {
+				cfg.SSD.MorpheusSupported = false
+			})
+			filesN, _, err := Stage(sysN, app, testScale, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sysN.ResetTimers()
+			deg, err := Run(sysN, app, filesN, ModeMorpheusFallback)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if deg.Fallbacks != len(deg.Objects) {
+				t.Fatalf("expected every shard on the host path, got %d/%d", deg.Fallbacks, len(deg.Objects))
+			}
+			if err := VerifyObjects(base, deg); err != nil {
+				t.Fatalf("degraded objects differ from baseline: %v", err)
+			}
+		})
+	}
+}
+
 func TestRunnerInvariantsAcrossSuite(t *testing.T) {
 	for _, app := range All() {
 		app := app

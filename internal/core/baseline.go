@@ -6,6 +6,7 @@ import (
 	"morpheus/internal/host"
 	"morpheus/internal/nvme"
 	"morpheus/internal/ssd"
+	"morpheus/internal/stats"
 	"morpheus/internal/units"
 )
 
@@ -85,11 +86,13 @@ const readaheadDepth = 4
 // Figure 10 — and blocks for real when the device is behind.
 func (s *System) DeserializeConventional(ready units.Time, f *File, parser HostParser, spec ParseSpec, coreIdx int) (*DeserResult, error) {
 	cpb := spec.cyclesPerByte(s.Cfg.ParseCosts)
+	rp := DefaultRetryPolicy()
 	_, t := s.CreateStream(ready, f) // open(2) + fstat equivalent
 	bufAddr, t, err := s.Host.AllocDMA(t, 2*units.Bytes(s.Cfg.SSD.MDTS))
 	if err != nil {
 		return nil, err
 	}
+	defer s.Host.FreeDMA(bufAddr) // the page-cache staging window
 	res := &DeserResult{}
 	aligner := &recordAligner{}
 	var cpuAccum units.Duration // CPU time since the last timeslice expiry
@@ -120,8 +123,34 @@ func (s *System) DeserializeConventional(ready units.Time, f *File, parser HostP
 			}
 		}
 		// Phase A: read(2) consumes the chunk from the page cache.
-		if err := pending[k].Comp.Status.Err(); err != nil {
-			return nil, fmt.Errorf("core: READ failed: %w", err)
+		failed := pending[k].Comp.Status.Err() != nil
+		if !failed && rp.expired(pending[k].Submitted, pending[k].Done) {
+			s.Counters.Add(stats.CmdTimeouts, 1)
+			failed = true
+		}
+		if failed {
+			// The page cache drops the bad readahead; the consuming read(2)
+			// re-issues the chunk synchronously under the retry policy.
+			// Unlike an MREAD train, conventional READs are stateless and
+			// independent, so a single chunk can be replayed in place.
+			origErr := statusErr("READ", pending[k].Comp.Status)
+			s.Counters.Add(stats.CmdRetries, 1)
+			_, t2, rerr := s.Driver.SubmitRetry(t, "READ", rp, func() *ssd.CmdContext {
+				raws[k] = nil
+				return &ssd.CmdContext{
+					Cmd:  nvme.BuildRead(0, chunks[k].slba, chunks[k].nlb, uint64(bufAddr)),
+					Sink: func(p []byte) { raws[k] = append(raws[k], p...) },
+				}
+			})
+			t = t2
+			if rerr != nil {
+				if origErr != nil {
+					rerr = fmt.Errorf("%w (initial read: %w)", rerr, origErr)
+				}
+				res.Done = t
+				return res, rerr
+			}
+			pending[k].Done = t
 		}
 		if pending[k].Done > t {
 			// Device behind the parser: a real blocking wait.

@@ -37,6 +37,7 @@ func (d *Driver) Identify(ready units.Time) (*nvme.IdentifyController, units.Tim
 	if err != nil {
 		return nil, ready, err
 	}
+	defer d.sys.Host.FreeDMA(addr)
 	var page []byte
 	ctx := &ssd.CmdContext{
 		Cmd:  nvme.Command{Opcode: nvme.OpAdminIdentify, PRP1: uint64(addr), CDW10: 1 /* CNS: controller */},
@@ -62,6 +63,9 @@ type Pending struct {
 	CID  uint16
 	Comp nvme.Completion
 	Done units.Time
+	// Submitted is when the host issued the command; retry policies use it
+	// to check per-command deadlines at batch-flush time.
+	Submitted units.Time
 }
 
 // SubmitAsync submits one command without waiting: the host thread pays
@@ -87,7 +91,7 @@ func (d *Driver) SubmitAsync(ready units.Time, ctx *ssd.CmdContext) (Pending, un
 	if _, err := d.qp.CQ.Reap(); err != nil {
 		return Pending{}, tCPU, err
 	}
-	return Pending{CID: cid, Comp: comp, Done: done}, tCPU, nil
+	return Pending{CID: cid, Comp: comp, Done: done, Submitted: ready}, tCPU, nil
 }
 
 // Wait blocks the host thread until the pending command completes,

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"morpheus/internal/flash"
+	"morpheus/internal/ftl"
+	"morpheus/internal/nvme"
+)
+
+// Typed sentinel errors of the Morpheus runtime. Every device failure the
+// runtime surfaces wraps one of these (and the underlying nvme sentinel)
+// with %w, so errors.Is classification works from the experiment harness
+// all the way down to the flash layer — no string matching.
+var (
+	// ErrMediaFailure reports data lost to the media: an unrecovered read
+	// that survived the retry policy (and block retirement).
+	ErrMediaFailure = errors.New("core: unrecoverable media failure")
+	// ErrAppTrap reports a StorageApp that faulted on the embedded core.
+	ErrAppTrap = errors.New("core: StorageApp trapped on the device")
+	// ErrDeadline reports a command that blew through its per-command
+	// deadline; the driver abandons (aborts) it.
+	ErrDeadline = errors.New("core: command deadline exceeded")
+)
+
+// statusErr converts a failed completion into a typed runtime error. The
+// chain carries the core sentinel, the nvme sentinel, and — for media
+// errors — the flash/FTL sentinels, since a media status is by
+// construction an uncorrectable ECC failure below the FTL.
+func statusErr(op string, s nvme.Status) error {
+	base := s.Err()
+	if base == nil {
+		return nil
+	}
+	switch {
+	case errors.Is(base, nvme.ErrMedia):
+		return fmt.Errorf("core: %s failed: %w: %w (%w: %w)",
+			op, ErrMediaFailure, base, ftl.ErrMediaError, flash.ErrUncorrectable)
+	case errors.Is(base, nvme.ErrAppTrap):
+		return fmt.Errorf("core: %s failed: %w: %w", op, ErrAppTrap, base)
+	case errors.Is(base, nvme.ErrAborted):
+		return fmt.Errorf("core: %s failed: %w: %w", op, ErrDeadline, base)
+	default:
+		return fmt.Errorf("core: %s failed: %w", op, base)
+	}
+}
+
+// fallbackWorthy reports whether a failed device invocation should be
+// served by the degraded host path: the controller cannot run the app
+// (unsupported opcodes, no slots, SRAM limits), the app itself is broken
+// on the device, or the device path keeps failing (media, deadline).
+// Caller-side protocol errors (malformed commands, unknown files) are not
+// maskable by a fallback.
+func fallbackWorthy(err error) bool {
+	switch {
+	case errors.Is(err, ErrNoMorpheus),
+		errors.Is(err, ErrMediaFailure),
+		errors.Is(err, ErrAppTrap),
+		errors.Is(err, ErrDeadline),
+		errors.Is(err, nvme.ErrInvalidOpcode),
+		errors.Is(err, nvme.ErrNoSlots),
+		errors.Is(err, nvme.ErrSRAMOverflow),
+		errors.Is(err, nvme.ErrInternal),
+		// Retired blocks lose their unreadable pages; the device then
+		// reports the dangling LBAs as out of range. Media loss, so the
+		// replica path may still serve the data.
+		errors.Is(err, nvme.ErrLBAOutOfRange):
+		return true
+	}
+	return false
+}
+
+// retryableInvoke reports whether a whole-train failure is worth replaying
+// from MINIT: transient device conditions, plus media errors (block
+// retirement may have relocated the neighbourhood). App faults are
+// deterministic and protocol errors are permanent — replaying cannot help.
+func retryableInvoke(err error) bool {
+	switch {
+	case errors.Is(err, ErrAppTrap),
+		errors.Is(err, ErrNoMorpheus),
+		errors.Is(err, nvme.ErrInvalidOpcode),
+		errors.Is(err, nvme.ErrInvalidField),
+		errors.Is(err, nvme.ErrSRAMOverflow),
+		errors.Is(err, nvme.ErrNoInstance),
+		errors.Is(err, nvme.ErrLBAOutOfRange):
+		return false
+	}
+	return true
+}

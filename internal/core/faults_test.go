@@ -1,40 +1,74 @@
 package core
 
 import (
-	"strings"
+	"errors"
 	"testing"
 
 	"morpheus/internal/flash"
+	"morpheus/internal/ftl"
+	"morpheus/internal/nvme"
 	"morpheus/internal/serial"
 )
 
+// TestMediaErrorSurfacesToHost drives both datapaths over media that fails
+// every read uncorrectably and checks the error classification the tentpole
+// promises: errors.Is works across package boundaries, from the flash array
+// up through the FTL, the NVMe status, and the core sentinels — no string
+// matching required.
 func TestMediaErrorSurfacesToHost(t *testing.T) {
-	sys := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
-	data, _ := testInput(1<<13, 21)
-	f, err := sys.WriteFile("ints", data)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sys.ResetTimers()
-	// Every read fails uncorrectably from here on.
-	sys.SSD.Flash.SetFaultModel(flash.FaultModel{UncorrectablePerM: 1_000_000})
-
-	parser := serial.TokenParser{Kind: serial.FieldInt32}
-	_, err = sys.DeserializeConventional(0, f,
-		func(chunk []byte, final bool) []byte { return parser.Parse(chunk, final) },
-		ParseSpec{}, 0)
-	if err == nil || !strings.Contains(err.Error(), "READ failed") {
-		t.Fatalf("conventional read of damaged media: %v", err)
-	}
-	// The firmware retired the afflicted block.
-	if sys.SSD.FTL.BadBlocks() == 0 {
-		t.Fatal("media error must retire the block")
-	}
-	// The Morpheus path reports the same media error through MREAD.
-	_, err = sys.InvokeStorageApp(0, InvokeOptions{App: intApp(true), File: f})
-	if err == nil || !strings.Contains(err.Error(), "MREAD failed") {
-		t.Fatalf("MREAD over damaged media: %v", err)
-	}
+	t.Run("mread", func(t *testing.T) {
+		sys := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+		data, _ := testInput(1<<13, 21)
+		f, err := sys.WriteFile("ints", data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.ResetTimers()
+		// Every read fails uncorrectably from here on.
+		sys.SSD.Flash.SetFaultModel(flash.FaultModel{UncorrectablePerM: 1_000_000})
+		_, err = sys.InvokeStorageApp(0, InvokeOptions{App: intApp(true), File: f})
+		if err == nil {
+			t.Fatal("MREAD over damaged media succeeded")
+		}
+		// The first attempt's unrecovered read must stay classifiable even
+		// though the train replay then hit the retired (unmapped) block.
+		for _, want := range []error{ErrMediaFailure, nvme.ErrMedia, ftl.ErrMediaError, flash.ErrUncorrectable} {
+			if !errors.Is(err, want) {
+				t.Errorf("errors.Is(err, %v) = false; err chain: %v", want, err)
+			}
+		}
+		// The firmware retired the afflicted block.
+		if sys.SSD.FTL.BadBlocks() == 0 {
+			t.Fatal("media error must retire the block")
+		}
+	})
+	t.Run("conventional", func(t *testing.T) {
+		sys := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+		data, _ := testInput(1<<13, 21)
+		f, err := sys.WriteFile("ints", data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.ResetTimers()
+		sys.SSD.Flash.SetFaultModel(flash.FaultModel{UncorrectablePerM: 1_000_000})
+		parser := serial.TokenParser{Kind: serial.FieldInt32}
+		_, err = sys.DeserializeConventional(0, f,
+			func(chunk []byte, final bool) []byte { return parser.Parse(chunk, final) },
+			ParseSpec{}, 0)
+		if err == nil {
+			t.Fatal("conventional read of damaged media succeeded")
+		}
+		if !errors.Is(err, ErrMediaFailure) {
+			t.Errorf("errors.Is(err, ErrMediaFailure) = false; err chain: %v", err)
+		}
+		// The in-place READ retry hit the retired block's dangling LBAs.
+		if !errors.Is(err, nvme.ErrLBAOutOfRange) {
+			t.Errorf("errors.Is(err, nvme.ErrLBAOutOfRange) = false; err chain: %v", err)
+		}
+		if sys.SSD.FTL.BadBlocks() == 0 {
+			t.Fatal("media error must retire the block")
+		}
+	})
 }
 
 func TestRareFaultsDoNotBreakRuns(t *testing.T) {

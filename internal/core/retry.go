@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"morpheus/internal/nvme"
+	"morpheus/internal/ssd"
+	"morpheus/internal/stats"
+	"morpheus/internal/units"
+)
+
+// RetryPolicy bounds how stubbornly the runtime re-submits failed device
+// work. Backoff is charged on the virtual clock, so the latency cost of
+// resilience shows up in every experiment that enables faults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// Zero means the DefaultRetryPolicy value.
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; each further attempt
+	// multiplies it by Multiplier, clamped to MaxBackoff.
+	Backoff    units.Duration
+	Multiplier float64
+	MaxBackoff units.Duration
+	// Deadline bounds one command's submit-to-completion latency. A
+	// completion arriving later counts as a timeout: the driver abandons
+	// the command (ErrDeadline) and may retry. Zero disables the check.
+	Deadline units.Duration
+}
+
+// DefaultRetryPolicy matches NVMe driver practice: a few attempts with
+// millisecond-scale exponential backoff and a generous per-command
+// deadline (device-side work for one MDTS chunk is ~100 µs).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		Backoff:     1 * units.Millisecond,
+		Multiplier:  2,
+		MaxBackoff:  50 * units.Millisecond,
+		Deadline:    100 * units.Millisecond,
+	}
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy. Deadline is left
+// alone: zero legitimately means "no deadline".
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = def.Backoff
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = def.Multiplier
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = def.MaxBackoff
+	}
+	return p
+}
+
+// next advances a backoff value one step.
+func (p RetryPolicy) next(backoff units.Duration) units.Duration {
+	b := units.Duration(float64(backoff) * p.Multiplier)
+	if b > p.MaxBackoff {
+		b = p.MaxBackoff
+	}
+	return b
+}
+
+// expired reports whether a command submitted at submitted and completed
+// at done blew the per-command deadline.
+func (p RetryPolicy) expired(submitted, done units.Time) bool {
+	return p.Deadline > 0 && done.Sub(submitted) > p.Deadline
+}
+
+// SubmitRetry submits one command under a retry policy: retryable failure
+// statuses and deadline overruns are re-submitted (with backoff charged on
+// the virtual clock) up to the attempt cap; terminal statuses return
+// immediately. makeCtx builds a fresh command context per attempt so
+// stateful sinks never see a failed attempt's bytes twice. op names the
+// command in errors ("MINIT", "READ", ...).
+func (d *Driver) SubmitRetry(ready units.Time, op string, p RetryPolicy, makeCtx func() *ssd.CmdContext) (nvme.Completion, units.Time, error) {
+	p = p.withDefaults()
+	backoff := p.Backoff
+	t := ready
+	var lastErr error
+	// record chains failures across attempts with %w, so a media error on
+	// attempt 1 stays classifiable even when the retry fails differently
+	// (e.g. the retired block turned the LBA unmappable).
+	record := func(cur error) {
+		if lastErr != nil {
+			cur = fmt.Errorf("%w (earlier attempt: %w)", cur, lastErr)
+		}
+		lastErr = cur
+	}
+	for attempt := 1; ; attempt++ {
+		submitted := t
+		comp, t2, err := d.Submit(t, makeCtx())
+		if err != nil {
+			// Protocol-level failure (queue full, ring desync): not a
+			// device status, not retryable.
+			return comp, t2, err
+		}
+		t = t2
+		switch {
+		case p.expired(submitted, t):
+			d.sys.Counters.Add(stats.CmdTimeouts, 1)
+			record(fmt.Errorf("core: %s took %v, past its %v deadline: %w",
+				op, t.Sub(submitted), p.Deadline, ErrDeadline))
+		case comp.Status.Err() != nil:
+			record(statusErr(op, comp.Status))
+			if !comp.Status.Retryable() {
+				return comp, t, lastErr
+			}
+		default:
+			return comp, t, nil
+		}
+		if attempt >= p.MaxAttempts {
+			return comp, t, fmt.Errorf("core: %s gave up after %d attempts: %w", op, attempt, lastErr)
+		}
+		d.sys.Counters.Add(stats.CmdRetries, 1)
+		t = t.Add(backoff)
+		backoff = p.next(backoff)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -9,6 +10,7 @@ import (
 	"morpheus/internal/nvme"
 	"morpheus/internal/pcie"
 	"morpheus/internal/ssd"
+	"morpheus/internal/stats"
 	"morpheus/internal/units"
 )
 
@@ -48,19 +50,69 @@ type Target struct {
 	OnGPU bool
 }
 
+// ServePath identifies which datapath ultimately produced the objects.
+type ServePath int
+
+// The serve paths, from healthy to most degraded.
+const (
+	// PathMorpheus: the StorageApp ran on the SSD (possibly after train
+	// replays).
+	PathMorpheus ServePath = iota
+	// PathHostFallback: the device path failed or is unsupported; the host
+	// CPU parsed the raw file through conventional READs.
+	PathHostFallback
+	// PathReplicaFallback: the local media lost the data; the raw file was
+	// re-fetched from a replica and parsed on the host.
+	PathReplicaFallback
+)
+
+// String names the path for reports.
+func (p ServePath) String() string {
+	switch p {
+	case PathMorpheus:
+		return "morpheus"
+	case PathHostFallback:
+		return "host-fallback"
+	case PathReplicaFallback:
+		return "replica-fallback"
+	}
+	return fmt.Sprintf("ServePath(%d)", int(p))
+}
+
+// Fallback describes the degraded host path InvokeStorageApp may fall
+// back to when the device path keeps failing.
+type Fallback struct {
+	// Parser builds a fresh conventional-path deserializer per attempt
+	// (the parsers are stateful closures, so a factory is required).
+	Parser func() HostParser
+	// Spec is the host parse cost model for this application.
+	Spec ParseSpec
+	// CoreIdx pins the parse loop to a host core.
+	CoreIdx int
+	// NoReplica disables the last-resort replica re-fetch, for systems
+	// whose files have no remote copy.
+	NoReplica bool
+}
+
 // InvokeResult reports one StorageApp run.
 type InvokeResult struct {
-	// Out is the data-plane shadow of the object bytes the SSD DMA'd to
-	// the destination.
+	// Out is the data-plane shadow of the object bytes delivered to the
+	// destination (or produced by the host parser on a fallback path).
 	Out []byte
-	// RetVal is the MDEINIT completion value.
+	// RetVal is the MDEINIT completion value (device path only).
 	RetVal uint32
-	// Done is when the host thread observed MDEINIT completion.
+	// Done is when the host thread observed the final completion.
 	Done units.Time
-	// Commands is the number of NVMe commands issued.
+	// Commands is the number of NVMe commands issued by the serving path.
 	Commands int
-	// CyclesPerByte is the measured embedded-core cost.
+	// CyclesPerByte is the measured embedded-core cost (device path only).
 	CyclesPerByte float64
+	// Path is which datapath served the request.
+	Path ServePath
+	// Attempts counts device-path tries (a clean first run is 1; zero
+	// means the device path was never attempted, e.g. no Morpheus
+	// support).
+	Attempts int
 }
 
 // InvokeOptions parameterizes InvokeStorageApp.
@@ -71,79 +123,166 @@ type InvokeOptions struct {
 	// Dest is where objects go. A zero Target allocates a host DMA
 	// buffer; set OnGPU for the NVMe-P2P path (requires EnableP2P).
 	Dest Target
+	// Retry overrides DefaultRetryPolicy for this invocation.
+	Retry *RetryPolicy
+	// Fallback, when set, lets the runtime serve the request on the host
+	// after the device path fails (degraded mode). Fallback output always
+	// lands in host memory, even when Dest.OnGPU was requested.
+	Fallback *Fallback
 }
 
 // InvokeStorageApp runs the full §V-B protocol on behalf of one host
 // thread: ms_stream_create, MINIT, a pipelined train of MREADs split at
-// the MDTS, and MDEINIT. It returns when the host thread has observed the
-// final completion.
+// the MDTS, and MDEINIT. Failed trains are replayed with a fresh instance
+// under the retry policy (an MREAD stream is stateful, so recovery is
+// all-or-nothing); when the device path is exhausted or unsupported and a
+// Fallback is configured, the request is served by the conventional host
+// path instead. It returns when the host thread observed the final
+// completion of whichever path served.
 func (s *System) InvokeStorageApp(ready units.Time, opt InvokeOptions) (*InvokeResult, error) {
 	if opt.App == nil || opt.File == nil {
 		return nil, fmt.Errorf("core: InvokeStorageApp needs an app and a file")
 	}
-	if s.Identify != nil && !s.Identify.Morpheus.Supported {
-		return nil, ErrNoMorpheus
+	rp := DefaultRetryPolicy()
+	if opt.Retry != nil {
+		rp = *opt.Retry
 	}
+	rp = rp.withDefaults()
+
+	t := ready
+	var lastErr error
+	attempts := 0
+	if s.Identify != nil && !s.Identify.Morpheus.Supported {
+		lastErr = ErrNoMorpheus
+	} else {
+		backoff := rp.Backoff
+		for attempts = 1; ; attempts++ {
+			res, t2, err := s.invokeMorpheusOnce(t, opt, rp)
+			t = t2
+			if err == nil {
+				res.Path = PathMorpheus
+				res.Attempts = attempts
+				return res, nil
+			}
+			// Chain across train replays so the first failure's class (a
+			// media error, say) stays visible behind the last one's.
+			if lastErr != nil {
+				err = fmt.Errorf("%w (earlier attempt: %w)", err, lastErr)
+			}
+			lastErr = err
+			if attempts >= rp.MaxAttempts || !retryableInvoke(err) {
+				break
+			}
+			// Replaying a train needs a fresh MINIT; the backoff models
+			// the host error handling before the re-submission.
+			s.Counters.Add(stats.CmdRetries, 1)
+			t = t.Add(backoff)
+			backoff = rp.next(backoff)
+		}
+	}
+	if opt.Fallback == nil || !fallbackWorthy(lastErr) {
+		return nil, lastErr
+	}
+	return s.invokeFallback(t, opt, lastErr, attempts)
+}
+
+// invokeMorpheusOnce runs one complete MINIT/MREAD*/MDEINIT train. On any
+// failure it aborts the instance (MDEINIT) and unpins every host buffer it
+// allocated, so a failed attempt leaves no residue; the returned time is
+// when the host finished cleaning up.
+func (s *System) invokeMorpheusOnce(ready units.Time, opt InvokeOptions, rp RetryPolicy) (res *InvokeResult, end units.Time, err error) {
 	prog, err := opt.App.Compile()
 	if err != nil {
-		return nil, err
+		return nil, ready, err
 	}
 	image, err := prog.MarshalBinary()
 	if err != nil {
-		return nil, err
+		return nil, ready, err
 	}
 	_, t := s.CreateStream(ready, opt.File)
 
 	// Resolve the destination buffer.
 	dest := opt.Dest
+	destSelfAlloc := false
 	if dest.Addr == 0 {
 		if dest.OnGPU {
 			if s.GPU == nil {
-				return nil, fmt.Errorf("core: no GPU in this system")
+				return nil, t, fmt.Errorf("core: no GPU in this system")
 			}
 			if !s.GPU.PeerBAREnabled() {
-				return nil, fmt.Errorf("core: GPU destination requires EnableP2P (the BAR window is unmapped)")
+				return nil, t, fmt.Errorf("core: GPU destination requires EnableP2P (the BAR window is unmapped)")
 			}
 			a, err := s.GPU.Alloc(2 * opt.File.Size)
 			if err != nil {
-				return nil, err
+				return nil, t, err
 			}
 			dest.Addr = a
 		} else {
 			a, t2, err := s.Host.AllocDMA(t, 2*opt.File.Size)
 			if err != nil {
-				return nil, err
+				return nil, t, err
 			}
 			dest.Addr, t = a, t2
+			destSelfAlloc = true
 		}
 	}
 
-	// Stage the code image in a pinned host buffer and MINIT.
+	// Stage the code image in a pinned host buffer. The image is only
+	// needed until MINIT copies it to I-SRAM, but the abort paths below
+	// also unpin it, so track it with the attempt.
 	codeAddr, t, err := s.Host.AllocDMA(t, units.Bytes(len(image)))
 	if err != nil {
-		return nil, err
+		return nil, t, err
 	}
 	id := s.NextInstanceID()
+	minitDone := false
+	defer func() {
+		if err == nil {
+			s.Host.FreeDMA(codeAddr)
+			return
+		}
+		// Failed attempt: abort the instance and unpin everything this
+		// attempt allocated. The firmware reaps trapped instances itself,
+		// so the abort MDEINIT tolerates "no such instance".
+		if minitDone {
+			comp, t2, aerr := s.Driver.Submit(end, &ssd.CmdContext{Cmd: nvme.BuildMDeinit(0, id)})
+			if aerr == nil {
+				end = t2
+				if serr := comp.Status.Err(); serr != nil && !errors.Is(serr, nvme.ErrNoInstance) {
+					err = fmt.Errorf("%w (abort MDEINIT also failed: %w)", err, serr)
+				}
+			}
+		}
+		s.Host.FreeDMA(codeAddr)
+		if destSelfAlloc {
+			s.Host.FreeDMA(dest.Addr)
+		}
+	}()
+
 	var native ssd.NativeFunc
 	if opt.App.NativeFactory != nil {
 		native = opt.App.NativeFactory()
 	}
-	initCtx := &ssd.CmdContext{
-		Cmd:    nvme.BuildMInit(0, uint64(codeAddr), uint32(len(image)), id, uint32(len(opt.Args)), 0),
-		Code:   image,
-		Args:   opt.Args,
-		Native: native,
-	}
-	comp, t, err := s.Driver.Submit(t, initCtx)
+	comp, t, err := s.Driver.SubmitRetry(t, "MINIT", rp, func() *ssd.CmdContext {
+		return &ssd.CmdContext{
+			Cmd:    nvme.BuildMInit(0, uint64(codeAddr), uint32(len(image)), id, uint32(len(opt.Args)), 0),
+			Code:   image,
+			Args:   opt.Args,
+			Native: native,
+		}
+	})
+	end = t
 	if err != nil {
-		return nil, err
+		// A deadline-abandoned MINIT may still have landed on the device
+		// and claimed a slot; the abort below reaps it (and tolerates
+		// "no such instance" for rejections that never created one).
+		minitDone = errors.Is(err, ErrDeadline)
+		return nil, end, err
 	}
-	if err := comp.Status.Err(); err != nil {
-		return nil, fmt.Errorf("core: MINIT failed: %w", err)
-	}
+	minitDone = true
 
 	// Pipelined MREAD train.
-	res := &InvokeResult{Commands: 1}
+	res = &InvokeResult{Commands: 1}
 	sink := func(p []byte) { res.Out = append(res.Out, p...) }
 	dstAddr := uint64(dest.Addr)
 	var pending []Pending
@@ -154,9 +293,15 @@ func (s *System) InvokeStorageApp(ready units.Time, opt InvokeOptions) (*InvokeR
 	flush := func() error {
 		comps, t2 := s.Driver.WaitBatch(t, pending)
 		t = t2
-		for _, cp := range comps {
-			if err := cp.Status.Err(); err != nil {
-				return fmt.Errorf("core: MREAD failed: %w", err)
+		end = t
+		for i, cp := range comps {
+			if serr := cp.Status.Err(); serr != nil {
+				return statusErr("MREAD", cp.Status)
+			}
+			if rp.expired(pending[i].Submitted, pending[i].Done) {
+				s.Counters.Add(stats.CmdTimeouts, 1)
+				return fmt.Errorf("core: MREAD took %v, past its %v deadline: %w",
+					pending[i].Done.Sub(pending[i].Submitted), rp.Deadline, ErrDeadline)
 			}
 		}
 		pending = pending[:0]
@@ -176,40 +321,83 @@ func (s *System) InvokeStorageApp(ready units.Time, opt InvokeOptions) (*InvokeR
 			LastChunk:  ch.last,
 			ValidBytes: int(valid),
 		}
-		p, t2, err := s.Driver.SubmitAsync(t, ctx)
-		if err != nil {
-			return nil, err
+		p, t2, serr := s.Driver.SubmitAsync(t, ctx)
+		if serr != nil {
+			err = serr
+			return nil, end, err
 		}
 		t = t2
+		end = t
 		res.Commands++
 		pending = append(pending, p)
 		dstAddr += uint64(s.Cfg.SSD.MDTS) * 2 // reserve worst-case expansion
 		if len(pending) >= batch {
-			if err := flush(); err != nil {
-				return nil, err
+			if err = flush(); err != nil {
+				return nil, end, err
 			}
 		}
 	}
-	if err := flush(); err != nil {
-		return nil, err
+	if err = flush(); err != nil {
+		return nil, end, err
 	}
 
 	// MDEINIT: collect the return value, free device resources.
 	if cpb, ok := s.SSD.InstanceCPB(id); ok {
 		res.CyclesPerByte = cpb
 	}
-	deinitCtx := &ssd.CmdContext{Cmd: nvme.BuildMDeinit(0, id)}
-	comp, t, err = s.Driver.Submit(t, deinitCtx)
+	comp, t, err = s.Driver.Submit(t, &ssd.CmdContext{Cmd: nvme.BuildMDeinit(0, id)})
+	end = t
 	if err != nil {
-		return nil, err
+		return nil, end, err
 	}
-	if err := comp.Status.Err(); err != nil {
-		return nil, fmt.Errorf("core: MDEINIT failed: %w", err)
+	if serr := comp.Status.Err(); serr != nil {
+		err = statusErr("MDEINIT", comp.Status)
+		minitDone = false // the deinit already ran; don't abort again
+		return nil, end, err
 	}
 	res.Commands++
 	res.RetVal = comp.Result
 	res.Done = t
-	return res, nil
+	return res, end, nil
+}
+
+// invokeFallback serves an invocation on the degraded host path: first
+// the conventional READ+parse loop against the local SSD, and — if the
+// local media has lost the data — a re-fetch of the file's replica parsed
+// the same way. cause is the device-path error that triggered degradation.
+func (s *System) invokeFallback(ready units.Time, opt InvokeOptions, cause error, attempts int) (*InvokeResult, error) {
+	fb := opt.Fallback
+	s.Counters.Add(stats.HostFallbacks, 1)
+	res, derr := s.DeserializeConventional(ready, opt.File, fb.Parser(), fb.Spec, fb.CoreIdx)
+	if derr == nil {
+		return &InvokeResult{
+			Out: res.Out, Done: res.Done, Commands: res.Commands,
+			Path: PathHostFallback, Attempts: attempts,
+		}, nil
+	}
+	t := ready
+	if res != nil && res.Done > t {
+		t = res.Done
+	}
+	// The conventional path reads the same flash pages; only media loss
+	// justifies escalating to the replica.
+	mediaLoss := errors.Is(derr, ErrMediaFailure) || errors.Is(derr, nvme.ErrLBAOutOfRange)
+	if fb.NoReplica || !mediaLoss {
+		return nil, fmt.Errorf("core: host fallback (after %w) failed: %w", cause, derr)
+	}
+	data, ok := s.ReplicaData(opt.File.Name)
+	if !ok {
+		return nil, fmt.Errorf("core: host fallback failed (%w) and %q has no replica: %w", derr, opt.File.Name, ErrMediaFailure)
+	}
+	s.Counters.Add(stats.ReplicaFallbacks, 1)
+	rres, rerr := s.DeserializeFromMedium(t, s.ReplicaMedium(), data, fb.Parser(), fb.Spec, fb.CoreIdx)
+	if rerr != nil {
+		return nil, rerr
+	}
+	return &InvokeResult{
+		Out: rres.Out, Done: rres.Done, Commands: rres.Commands,
+		Path: PathReplicaFallback, Attempts: attempts,
+	}, nil
 }
 
 // SerializeResult reports one MWRITE-driven serialization run.
@@ -223,8 +411,10 @@ type SerializeResult struct {
 // bytes to the device, the StorageApp transforms them (e.g. formats text),
 // and the result is written to the file's extent. This is the
 // serialization support §III mentions; the paper's workloads barely
-// exercise it, but the machinery is symmetric.
-func (s *System) SerializeStorageApp(ready units.Time, app *StorageApp, f *File, data []byte, args []int64) (*SerializeResult, error) {
+// exercise it, but the machinery is symmetric. An MWRITE stream is
+// stateful, so a mid-train failure aborts the instance and surfaces a
+// typed error rather than retrying blind.
+func (s *System) SerializeStorageApp(ready units.Time, app *StorageApp, f *File, data []byte, args []int64) (res *SerializeResult, err error) {
 	if s.Identify != nil && !s.Identify.Morpheus.Supported {
 		return nil, ErrNoMorpheus
 	}
@@ -242,6 +432,20 @@ func (s *System) SerializeStorageApp(ready units.Time, app *StorageApp, f *File,
 		return nil, err
 	}
 	id := s.NextInstanceID()
+	minitDone := false
+	defer func() {
+		s.Host.FreeDMA(srcAddr)
+		if err == nil || !minitDone {
+			return
+		}
+		comp, t2, aerr := s.Driver.Submit(t, &ssd.CmdContext{Cmd: nvme.BuildMDeinit(0, id)})
+		if aerr == nil {
+			t = t2
+			if serr := comp.Status.Err(); serr != nil && !errors.Is(serr, nvme.ErrNoInstance) {
+				err = fmt.Errorf("%w (abort MDEINIT also failed: %w)", err, serr)
+			}
+		}
+	}()
 	initCtx := &ssd.CmdContext{
 		Cmd:  nvme.BuildMInit(0, uint64(srcAddr), uint32(len(image)), id, uint32(len(args)), 0),
 		Code: image,
@@ -251,10 +455,12 @@ func (s *System) SerializeStorageApp(ready units.Time, app *StorageApp, f *File,
 	if err != nil {
 		return nil, err
 	}
-	if err := comp.Status.Err(); err != nil {
-		return nil, fmt.Errorf("core: MINIT failed: %w", err)
+	if serr := comp.Status.Err(); serr != nil {
+		err = statusErr("MINIT", comp.Status)
+		return nil, err
 	}
-	res := &SerializeResult{}
+	minitDone = true
+	res = &SerializeResult{}
 	mdts := int64(s.Cfg.SSD.MDTS)
 	slba := f.SLBA
 	for off := int64(0); off < int64(len(data)) || off == 0; off += mdts {
@@ -273,13 +479,15 @@ func (s *System) SerializeStorageApp(ready units.Time, app *StorageApp, f *File,
 			LastChunk: end == int64(len(data)),
 			Sink:      func(p []byte) { res.Written = append(res.Written, p...) },
 		}
-		comp, t2, err := s.Driver.Submit(t, ctx)
-		if err != nil {
+		comp, t2, serr := s.Driver.Submit(t, ctx)
+		if serr != nil {
+			err = serr
 			return nil, err
 		}
 		t = t2
-		if err := comp.Status.Err(); err != nil {
-			return nil, fmt.Errorf("core: MWRITE failed: %w", err)
+		if serr := comp.Status.Err(); serr != nil {
+			err = statusErr("MWRITE", comp.Status)
+			return nil, err
 		}
 		slba += uint64((len(res.Written) + nvme.LBASize - 1) / nvme.LBASize)
 		if end == int64(len(data)) {
@@ -291,8 +499,10 @@ func (s *System) SerializeStorageApp(ready units.Time, app *StorageApp, f *File,
 	if err != nil {
 		return nil, err
 	}
-	if err := comp.Status.Err(); err != nil {
-		return nil, fmt.Errorf("core: MDEINIT failed: %w", err)
+	if serr := comp.Status.Err(); serr != nil {
+		err = statusErr("MDEINIT", comp.Status)
+		minitDone = false
+		return nil, err
 	}
 	res.RetVal = comp.Result
 	res.Done = t

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"testing"
+
+	"morpheus/internal/flash"
+)
+
+// TestExperimentDeterminism is the regression the whole methodology rests
+// on: two runs of an experiment with identical options — including a
+// nonzero fault model, whose injected errors are hash-derived, not drawn
+// from wall-clock randomness — must render bit-identical tables.
+func TestExperimentDeterminism(t *testing.T) {
+	opts := testOptions()
+	opts.Faults = flash.FaultModel{CorrectablePerM: 200_000, Seed: 7}
+
+	t.Run("fig8", func(t *testing.T) {
+		a, err := RunFig8(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunFig8(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa, sb := a.Table().String(), b.Table().String(); sa != sb {
+			t.Fatalf("fig8 runs diverged:\nfirst:\n%s\nsecond:\n%s", sa, sb)
+		}
+	})
+
+	t.Run("endtoend", func(t *testing.T) {
+		a, err := RunEndToEnd(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunEndToEnd(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa, sb := a.Table().String(), b.Table().String(); sa != sb {
+			t.Fatalf("endtoend runs diverged:\nfirst:\n%s\nsecond:\n%s", sa, sb)
+		}
+	})
+}
+
+// TestFaultCampaignDeterminism repeats the E14 campaign — retries,
+// fallbacks, and all — and requires identical output.
+func TestFaultCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault campaign is the suite's heaviest experiment")
+	}
+	opts := testOptions()
+	a, err := RunFaults(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFaults(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa, sb := a.Table().String(), b.Table().String(); sa != sb {
+		t.Fatalf("fault campaigns diverged:\nfirst:\n%s\nsecond:\n%s", sa, sb)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"morpheus/internal/apps"
 	"morpheus/internal/core"
+	"morpheus/internal/flash"
 	"morpheus/internal/units"
 )
 
@@ -29,6 +30,10 @@ type Options struct {
 	CPUFreq units.Frequency
 	// Mutate, if set, adjusts the system configuration before building.
 	Mutate func(*core.SystemConfig)
+	// Faults, when nonzero, installs a deterministic media fault model on
+	// the flash array after staging (so setup writes are unaffected but
+	// measured reads see the faults).
+	Faults flash.FaultModel
 }
 
 // DefaultOptions is the bench-friendly configuration.
@@ -70,6 +75,9 @@ func runApp(app *apps.App, mode apps.Mode, o Options) (*apps.Report, *core.Syste
 	files, _, err := apps.Stage(sys, app, o.scale(), o.Seed)
 	if err != nil {
 		return nil, nil, err
+	}
+	if o.Faults != (flash.FaultModel{}) {
+		sys.SSD.Flash.SetFaultModel(o.Faults)
 	}
 	sys.ResetTimers()
 	rep, err := apps.Run(sys, app, files, mode)

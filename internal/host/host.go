@@ -81,6 +81,7 @@ type Host struct {
 	fabric     *pcie.Fabric
 	dramWindow *pcie.Window
 	allocNext  pcie.Addr
+	pinned     map[pcie.Addr]units.Bytes
 }
 
 // EndpointName is the fabric endpoint name of the root complex.
@@ -100,6 +101,7 @@ func New(cpu CPUConfig, osCosts OSCosts, mem MemConfig, counters *stats.Set, fab
 		Cores:    sim.NewPool("cpu", cpu.Cores),
 		MemBus:   sim.NewPipe("membus", mem.Latency, mem.BusBandwidth),
 		Counters: counters,
+		pinned:   make(map[pcie.Addr]units.Bytes),
 	}
 	if fabric != nil {
 		h.fabric = fabric
@@ -141,7 +143,27 @@ func (h *Host) AllocDMA(ready units.Time, size units.Bytes) (pcie.Addr, units.Ti
 	}
 	a := h.allocNext
 	h.allocNext += pcie.Addr(size)
+	h.pinned[a] = size
 	return a, h.Syscall(ready), nil
+}
+
+// FreeDMA unpins a buffer returned by AllocDMA. The bump allocator never
+// reuses address space (the simulation only needs the pin ledger), so this
+// is pure accounting: the unpin syscall's cost was pre-paid by AllocDMA.
+// Unknown addresses are ignored.
+func (h *Host) FreeDMA(addr pcie.Addr) { delete(h.pinned, addr) }
+
+// PinnedDMA reports how many DMA buffers are currently pinned. Leak tests
+// assert it returns to zero after failed device invocations.
+func (h *Host) PinnedDMA() int { return len(h.pinned) }
+
+// PinnedDMABytes reports the total pinned buffer size.
+func (h *Host) PinnedDMABytes() units.Bytes {
+	var n units.Bytes
+	for _, sz := range h.pinned {
+		n += sz
+	}
+	return n
 }
 
 // SetFrequency changes the DVFS operating point, clamped to the CPU's

@@ -1,0 +1,103 @@
+package morphc
+
+import (
+	"bytes"
+	"testing"
+
+	"morpheus/internal/mvm"
+)
+
+// fuzzInput is the fixed stream every fuzzed program runs over, mixing
+// integers, floats, and junk so scanf-style loops exercise all paths.
+const fuzzInput = "12 -7 3.5 hello 0 99999\n-1 2 3\n"
+
+// fuzzMaxSteps caps runaway fuzz programs (infinite loops are easy to
+// write; the cap turns them into a step-limit trap instead of a hang).
+const fuzzMaxSteps = 200_000
+
+// fuzzRun executes one compiled program over the fixed input under the
+// step cap. capped reports that the step limit (a resource bound, not
+// program semantics) ended the run.
+func fuzzRun(t *testing.T, p *mvm.Program) (ret int64, out []byte, st mvm.State, capped bool) {
+	t.Helper()
+	cfg := mvm.DefaultConfig()
+	cfg.MaxSteps = fuzzMaxSteps
+	vm, err := mvm.New(p, cfg, mvm.DefaultCostModel())
+	if err != nil {
+		// Program exceeds D-SRAM: a compile-output property, same for O0
+		// and O1; signal with a trapped state and no output.
+		return 0, nil, mvm.StateTrapped, true
+	}
+	vm.SetArgs([]int64{3, -4, 5, 0})
+	if err := vm.Feed([]byte(fuzzInput), true); err != nil {
+		return 0, nil, mvm.StateTrapped, true
+	}
+	for {
+		switch s := vm.Run(); s {
+		case mvm.StateOutputFull, mvm.StateFlushRequested:
+			out = append(out, vm.DrainOutput()...)
+		default:
+			out = append(out, vm.DrainOutput()...)
+			return vm.ReturnValue(), out, s, vm.Steps() >= fuzzMaxSteps
+		}
+	}
+}
+
+// FuzzMorphcCompile feeds arbitrary source text to the compiler: neither
+// optimization level may panic, both must agree on whether the source
+// compiles, and for programs that do compile, O0 and O1 must produce
+// identical results over a fixed input (the optimizer is semantics-
+// preserving — including keeping the divide-by-zero trap).
+func FuzzMorphcCompile(f *testing.F) {
+	seeds := []string{
+		deserializeIntsSrc,
+		`StorageApp int f(ms_stream s) { return (3 + 4) * (10 - 2) / 2; }`,
+		`StorageApp int f(ms_stream s) { return 1 / 0; }`,
+		`StorageApp int f(ms_stream s) { int r = 0; if (1 < 2) { r = 10; } else { r = 20; } while (0 > 1) { r = r + 1; } return r; }`,
+		`int helper(int x) { if (x > 0) return x * 2; return x - 1; }
+StorageApp int f(ms_stream s, int a, int b, int c) {
+	int acc = 0;
+	for (int i = 0; i < 3; i++) { acc += helper(a + b*3 - (c ^ 5)) + i; }
+	ms_emit_i32(acc);
+	return acc;
+}`,
+		`StorageApp int g(ms_stream s) { int v; int n = 0; while (ms_scanf(s, "%d", &v) == 1) { if (v % 2 == 0) { ms_emit_i32(v); n++; } } return n; }`,
+		`StorageApp int f(ms_stream s) { float v; int n = 0; while (ms_scanf(s, "%f", &v) == 1) { ms_emit_f32(v); n++; } return n; }`,
+		`StorageApp int loop(ms_stream s) { while (1) { } return 0; }`,
+		`not a program at all`,
+		`StorageApp int f(ms_stream s) { return `,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p0, err0 := CompileWithOptions(src, "", O0)
+		p1, err1 := CompileWithOptions(src, "", O1)
+		if (err0 == nil) != (err1 == nil) {
+			t.Fatalf("optimization changed compilability:\nO0: %v\nO1: %v\nsource:\n%s", err0, err1, src)
+		}
+		if err0 != nil {
+			return
+		}
+		r0, out0, st0, cap0 := fuzzRun(t, p0)
+		r1, out1, st1, cap1 := fuzzRun(t, p1)
+		if cap0 || cap1 {
+			// The step cap is a resource limit; O1 executes fewer steps,
+			// so a capped run says nothing about semantic equivalence.
+			return
+		}
+		if st0 != st1 {
+			t.Fatalf("states diverge: O0=%v O1=%v\nsource:\n%s", st0, st1, src)
+		}
+		if st0 != mvm.StateHalted {
+			return // both trapped the same way; messages may differ
+		}
+		if r0 != r1 {
+			t.Fatalf("return values diverge: O0=%d O1=%d\nsource:\n%s", r0, r1, src)
+		}
+		if !bytes.Equal(out0, out1) {
+			t.Fatalf("outputs diverge: O0=%d bytes, O1=%d bytes\nsource:\n%s", len(out0), len(out1), src)
+		}
+	})
+}

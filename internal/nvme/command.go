@@ -150,22 +150,29 @@ const (
 	StatusSuccess       Status = 0x0
 	StatusInvalidOpcode Status = 0x1
 	StatusInvalidField  Status = 0x2
+	StatusInternal      Status = 0x6
+	// StatusAborted is the NVMe "Command Abort Requested" status, posted
+	// when the host gives up on a command (deadline) or the controller
+	// cancels it.
+	StatusAborted       Status = 0x7
 	StatusLBAOutOfRange Status = 0x80
 	// StatusMediaError is the NVMe "Unrecovered Read Error" media status.
 	StatusMediaError Status = 0x281
-	StatusInternal   Status = 0x6
 	// Morpheus-specific status codes (command-specific space).
 	StatusNoInstance   Status = 0x1C0 // MREAD/MWRITE/MDEINIT for unknown instance ID
 	StatusAppFault     Status = 0x1C1 // StorageApp trapped
 	StatusSRAMOverflow Status = 0x1C2 // StorageApp exceeded D-SRAM working set
+	StatusNoSlots      Status = 0x1C3 // MINIT with every execution slot occupied
 )
 
-// Err converts a status into an error (nil for success).
+// Err converts a status into an error (nil for success). The error wraps
+// the status's typed sentinel (ErrMedia, ErrAppTrap, ...), so callers at
+// any layer can classify it with errors.Is.
 func (s Status) Err() error {
 	if s == StatusSuccess {
 		return nil
 	}
-	return fmt.Errorf("nvme: status 0x%X", uint16(s))
+	return fmt.Errorf("%w (status 0x%X)", s.sentinel(), uint16(s))
 }
 
 // Completion is a decoded 16-byte completion queue entry.

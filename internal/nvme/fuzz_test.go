@@ -1,0 +1,85 @@
+package nvme
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCommandRoundTrip checks the wire codecs on arbitrary bytes: decoding
+// any 64-byte SQE / 16-byte CQE must never panic, and the canonical double
+// round-trip (decode → encode → decode) must be a fixed point. Reserved
+// bytes are deliberately not preserved from arbitrary input (the encoder
+// zeroes them), which is why the property is stated on the second trip.
+func FuzzCommandRoundTrip(f *testing.F) {
+	seedCmds := []Command{
+		BuildMInit(7, 0x1000, 512, 3, 2, 0x2000),
+		BuildMRead(8, 1<<33|5, 32, 3, 0xDEAD_0000),
+		BuildMWrite(9, 12, 1, 4, 0xBEEF_0000),
+		BuildMDeinit(10, 3),
+		BuildRead(11, 99, 8, 0xC000),
+		BuildWrite(12, 100, 8, 0xC800),
+		{Opcode: OpAdminIdentify, CID: 1, PRP1: 0x4000, CDW10: 1},
+	}
+	seedStatuses := []Status{
+		StatusSuccess, StatusInvalidOpcode, StatusInvalidField, StatusInternal,
+		StatusAborted, StatusLBAOutOfRange, StatusMediaError,
+		StatusNoInstance, StatusAppFault, StatusSRAMOverflow, StatusNoSlots,
+	}
+	for i, c := range seedCmds {
+		w := c.Marshal()
+		comp := Completion{
+			Result: uint32(i), SQHead: 5, SQID: 1, CID: c.CID,
+			Phase:  i%2 == 0,
+			Status: seedStatuses[i%len(seedStatuses)],
+		}
+		cw := comp.Marshal()
+		f.Add(w[:], cw[:])
+	}
+	f.Fuzz(func(t *testing.T, cb, pb []byte) {
+		var cw [CommandSize]byte
+		copy(cw[:], cb)
+		c1 := Unmarshal(cw)
+		w1 := c1.Marshal()
+		c2 := Unmarshal(w1)
+		if c1 != c2 {
+			t.Fatalf("command decode not stable:\n first: %+v\nsecond: %+v", c1, c2)
+		}
+		if w2 := c2.Marshal(); !bytes.Equal(w1[:], w2[:]) {
+			t.Fatalf("command encode not stable:\n first: %x\nsecond: %x", w1, w2)
+		}
+		// Accessors and classification must hold on arbitrary field values.
+		_ = c1.SLBA()
+		_ = c1.NLB()
+		_ = c1.Instance()
+		_ = c1.Opcode.String()
+		_ = c1.Opcode.IsMorpheus()
+
+		var pw [CompletionSize]byte
+		copy(pw[:], pb)
+		p1 := UnmarshalCompletion(pw)
+		if p1.Status > 0x7FFF {
+			t.Fatalf("decoded status 0x%X exceeds the 15-bit wire field", uint16(p1.Status))
+		}
+		w3 := p1.Marshal()
+		p2 := UnmarshalCompletion(w3)
+		if p1 != p2 {
+			t.Fatalf("completion decode not stable:\n first: %+v\nsecond: %+v", p1, p2)
+		}
+		if w4 := p2.Marshal(); !bytes.Equal(w3[:], w4[:]) {
+			t.Fatalf("completion encode not stable:\n first: %x\nsecond: %x", w3, w4)
+		}
+		// The status/phase packing must preserve both fields exactly.
+		if got := UnmarshalCompletion(p1.Marshal()); got.Status != p1.Status || got.Phase != p1.Phase {
+			t.Fatalf("status/phase lost: in (0x%X,%v), out (0x%X,%v)",
+				uint16(p1.Status), p1.Phase, uint16(got.Status), got.Phase)
+		}
+		// Error mapping is total: success iff nil, every failure carries a
+		// sentinel, and stringification never panics.
+		err := p1.Status.Err()
+		if (p1.Status == StatusSuccess) != (err == nil) {
+			t.Fatalf("status 0x%X: Err() = %v", uint16(p1.Status), err)
+		}
+		_ = p1.Status.String()
+		_ = p1.Status.Retryable()
+	})
+}

@@ -1,0 +1,112 @@
+package nvme
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed sentinel errors, one per completion status the simulator posts.
+// Status.Err wraps these with %w, so every layer above the wire protocol
+// (driver, runtime, experiment harness) can classify failures with
+// errors.Is instead of string matching.
+var (
+	// ErrMedia is the NVMe "Unrecovered Read Error": the device could not
+	// deliver the data even after its internal ECC read-retries.
+	ErrMedia = errors.New("nvme: unrecovered read error")
+	// ErrInvalidOpcode reports a command the controller does not implement
+	// — how a stock SSD answers the Morpheus vendor opcodes.
+	ErrInvalidOpcode = errors.New("nvme: invalid command opcode")
+	// ErrInvalidField reports a malformed command (bad PRP, bad image,
+	// duplicate instance ID, unmapped DMA target).
+	ErrInvalidField = errors.New("nvme: invalid field in command")
+	// ErrLBAOutOfRange reports an access beyond the namespace (or to a
+	// logical page lost to a retired block).
+	ErrLBAOutOfRange = errors.New("nvme: LBA out of range")
+	// ErrInternal is the catch-all device-side failure.
+	ErrInternal = errors.New("nvme: internal device error")
+	// ErrAborted reports a command the host (or controller) aborted, e.g.
+	// on a command deadline.
+	ErrAborted = errors.New("nvme: command aborted")
+	// ErrNoInstance reports a Morpheus command naming an unknown
+	// StorageApp instance.
+	ErrNoInstance = errors.New("nvme: no such StorageApp instance")
+	// ErrAppTrap reports a StorageApp that faulted on the embedded core.
+	ErrAppTrap = errors.New("nvme: StorageApp trapped")
+	// ErrSRAMOverflow reports a StorageApp exceeding I-SRAM or D-SRAM.
+	ErrSRAMOverflow = errors.New("nvme: StorageApp exceeds SRAM capacity")
+	// ErrNoSlots reports MINIT arriving when every firmware execution
+	// slot (or the controller DRAM chunk-buffer budget) is occupied.
+	ErrNoSlots = errors.New("nvme: no free StorageApp execution slot")
+)
+
+// String names the status code.
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "SUCCESS"
+	case StatusInvalidOpcode:
+		return "INVALID_OPCODE"
+	case StatusInvalidField:
+		return "INVALID_FIELD"
+	case StatusAborted:
+		return "ABORTED"
+	case StatusLBAOutOfRange:
+		return "LBA_OUT_OF_RANGE"
+	case StatusMediaError:
+		return "MEDIA_ERROR"
+	case StatusInternal:
+		return "INTERNAL"
+	case StatusNoInstance:
+		return "NO_INSTANCE"
+	case StatusAppFault:
+		return "APP_FAULT"
+	case StatusSRAMOverflow:
+		return "SRAM_OVERFLOW"
+	case StatusNoSlots:
+		return "NO_SLOTS"
+	default:
+		return fmt.Sprintf("STATUS(0x%X)", uint16(s))
+	}
+}
+
+// sentinel maps a status to its typed error (nil for success, ErrInternal
+// for codes the simulator never posts).
+func (s Status) sentinel() error {
+	switch s {
+	case StatusSuccess:
+		return nil
+	case StatusInvalidOpcode:
+		return ErrInvalidOpcode
+	case StatusInvalidField:
+		return ErrInvalidField
+	case StatusAborted:
+		return ErrAborted
+	case StatusLBAOutOfRange:
+		return ErrLBAOutOfRange
+	case StatusMediaError:
+		return ErrMedia
+	case StatusNoInstance:
+		return ErrNoInstance
+	case StatusAppFault:
+		return ErrAppTrap
+	case StatusSRAMOverflow:
+		return ErrSRAMOverflow
+	case StatusNoSlots:
+		return ErrNoSlots
+	default:
+		return ErrInternal
+	}
+}
+
+// Retryable reports whether a command that failed with this status is
+// worth re-submitting: the condition is (or may be) transient — the
+// device may clear a marginal page by retiring its block, an execution
+// slot may free up, an aborted command can simply run again. Malformed
+// commands, unsupported opcodes, and faulted StorageApps are terminal.
+func (s Status) Retryable() bool {
+	switch s {
+	case StatusMediaError, StatusInternal, StatusAborted, StatusNoSlots:
+		return true
+	}
+	return false
+}

@@ -36,6 +36,12 @@ type Config struct {
 	// DRAMSize is the buffer capacity (2 GB in the prototype).
 	DRAMSize units.Bytes
 
+	// MaxInstances is the number of StorageApp execution slots the
+	// firmware tracks (live MINIT..MDEINIT lifetimes). MINIT beyond this
+	// fails with StatusNoSlots until a slot frees. Zero means the default
+	// of two slots per embedded core.
+	MaxInstances int
+
 	// FirmwareCmdCost is the firmware processing time per NVMe command.
 	FirmwareCmdCost units.Duration
 	// MDTS is the NVMe maximum data transfer size per I/O command; the
@@ -75,6 +81,7 @@ func DefaultConfig() Config {
 		Timing:           flash.DefaultTiming(),
 		FTL:              ftl.DefaultConfig(),
 		EmbeddedCores:    4,
+		MaxInstances:     8,
 		CoreFreq:         830 * units.MHz,
 		ISRAMSize:        128 * units.KiB,
 		DRAMBandwidth:    6.4 * units.GBps,

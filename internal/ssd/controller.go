@@ -59,6 +59,9 @@ type Controller struct {
 	dram     *sim.Pipe
 
 	instances map[uint32]*instance
+	// dramReserved is the controller DRAM currently pinned as per-instance
+	// chunk buffers (reserved at MINIT, released with the slot).
+	dramReserved units.Bytes
 	// pageBuf caches the logical page size.
 	pageSize units.Bytes
 
@@ -102,8 +105,40 @@ func (c *Controller) SetTracer(t *trace.Tracer) { c.tracer = t }
 // Cores exposes the embedded-core resources (for utilization reports).
 func (c *Controller) Cores() []*sim.Resource { return c.cores }
 
-// Instances reports how many StorageApp instances are live.
+// Instances reports how many StorageApp instances are live (occupied
+// execution slots).
 func (c *Controller) Instances() int { return len(c.instances) }
+
+// maxInstances resolves the execution-slot budget.
+func (c *Controller) maxInstances() int {
+	if c.cfg.MaxInstances > 0 {
+		return c.cfg.MaxInstances
+	}
+	return 2 * len(c.cores)
+}
+
+// PinnedDRAM reports the controller DRAM reserved for live instances'
+// chunk buffers. Leak tests assert it returns to zero after every failed
+// invocation.
+func (c *Controller) PinnedDRAM() units.Bytes { return c.dramReserved }
+
+// instanceBufSize is the per-instance DRAM reservation: one inbound chunk
+// plus worst-case expanded output, both bounded by the MDTS.
+func (c *Controller) instanceBufSize() units.Bytes { return 3 * c.cfg.MDTS }
+
+// releaseInstance frees an execution slot and its DRAM reservation. It is
+// the single release path, called from MDEINIT and from every terminal
+// firmware failure (a trapped StorageApp cannot be resumed).
+func (c *Controller) releaseInstance(id uint32) {
+	if _, ok := c.instances[id]; !ok {
+		return
+	}
+	delete(c.instances, id)
+	c.dramReserved -= c.instanceBufSize()
+	if c.dramReserved < 0 {
+		c.dramReserved = 0
+	}
+}
 
 // InstanceCPB reports the measured cycles/byte of a live instance.
 func (c *Controller) InstanceCPB(id uint32) (float64, bool) {
@@ -350,6 +385,13 @@ func (c *Controller) doMInit(ready units.Time, ctx *CmdContext) (nvme.Status, un
 	if _, dup := c.instances[id]; dup {
 		return nvme.StatusInvalidField, ready
 	}
+	// Slot exhaustion: every execution slot occupied, or no DRAM left for
+	// another chunk buffer. Both clear when an instance is released, so
+	// the host may retry.
+	if len(c.instances) >= c.maxInstances() ||
+		c.dramReserved+c.instanceBufSize() > c.cfg.DRAMSize {
+		return nvme.StatusNoSlots, ready
+	}
 	if units.Bytes(len(ctx.Code)) > c.cfg.ISRAMSize {
 		return nvme.StatusSRAMOverflow, ready
 	}
@@ -373,6 +415,7 @@ func (c *Controller) doMInit(ready units.Time, ctx *CmdContext) (nvme.Status, un
 	}
 	_, t = c.cores[coreIdx].Acquire(t, c.cfg.FirmwareCmdCost+units.Duration(len(ctx.Code))*2*units.Nanosecond)
 	c.instances[id] = in
+	c.dramReserved += c.instanceBufSize()
 	return nvme.StatusSuccess, t
 }
 
@@ -404,6 +447,10 @@ func (c *Controller) doMRead(ready units.Time, ctx *CmdContext) (nvme.Status, un
 	}
 	res, err := in.processChunk(chunk, ctx.LastChunk, int64(c.cfg.SampleWindow))
 	if err != nil {
+		// A trapped StorageApp cannot be resumed: the firmware reaps the
+		// instance so its slot and chunk buffer are free immediately,
+		// without waiting for the host's abort MDEINIT.
+		c.releaseInstance(in.id)
 		return nvme.StatusAppFault, dataAt
 	}
 	// Chunks of one instance execute in stream order: a later chunk may
@@ -452,10 +499,12 @@ func (c *Controller) doMWrite(ready units.Time, ctx *CmdContext) (nvme.Status, u
 	// paper's workloads "spend a relatively small amount of time or
 	// almost no time in serializing objects").
 	if in.vm == nil {
+		c.releaseInstance(in.id)
 		return nvme.StatusAppFault, t
 	}
 	res, err := in.interpretChunk(ctx.Data, ctx.LastChunk)
 	if err != nil {
+		c.releaseInstance(in.id)
 		return nvme.StatusAppFault, t
 	}
 	in.cycles += res.cycles
@@ -491,7 +540,7 @@ func (c *Controller) doMDeinit(ready units.Time, ctx *CmdContext) (nvme.Status, 
 	// "Upon receiving this command, the Morpheus-SSD releases SSD memory
 	// of the corresponding StorageApp instance. The StorageApp can use
 	// the completion message to send a return value to the host."
-	delete(c.instances, id)
+	c.releaseInstance(id)
 	return nvme.StatusSuccess, uint32(in.retVal), t
 }
 

@@ -28,6 +28,12 @@ const (
 	StorageAppCyc   = "ssd.storageapp_cycles"
 	HostParseCyc    = "host.parse_cycles"
 	DMATransfers    = "dma.transfers"
+
+	// Resilience counters (the retry/fallback layer in internal/core).
+	CmdRetries       = "core.retries"           // command and train re-submissions
+	CmdTimeouts      = "core.timeouts"          // per-command deadlines exceeded
+	HostFallbacks    = "core.fallbacks"         // requests served by the host path
+	ReplicaFallbacks = "core.replica_fallbacks" // ...that had to re-fetch a replica
 )
 
 // Set is a bag of named int64 counters. The zero value is not usable; call
