@@ -6,10 +6,16 @@
 //	morpheusbench -exp all                 # everything
 //	morpheusbench -exp fig8               # one experiment
 //	morpheusbench -exp endtoend -scale 0.01 -seed 7
+//	morpheusbench -exp fig8 -trace-out trace.json -metrics-out metrics.prom
 //	morpheusbench -list                   # show the experiment index
 //
 // Experiments: table1, fig2, fig3, profile, fig8, fig9, fig10, traffic,
 // endtoend, slowhost, multiprog, serialize, faults, ablation, all.
+//
+// -trace-out writes a Chrome trace-event JSON (load it at
+// https://ui.perfetto.dev or chrome://tracing); -metrics-out writes the
+// aggregated metrics registry, as Prometheus text by default or as JSON
+// when the file name ends in .json.
 package main
 
 import (
@@ -19,7 +25,48 @@ import (
 	"strings"
 
 	"morpheus/internal/exp"
+	"morpheus/internal/stats"
+	"morpheus/internal/trace"
 )
+
+// traceCap bounds the shared tracer's memory on long runs; overflow is
+// counted, not fatal.
+const traceCap = 1 << 20
+
+// writeTrace dumps the collected spans as Chrome trace-event JSON.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteChromeTrace(f); err != nil {
+		return err
+	}
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "morpheusbench: trace dropped %d events past the %d-event cap\n", d, traceCap)
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps the aggregated registry: JSON when the path says so,
+// Prometheus text exposition otherwise.
+func writeMetrics(path string, reg *stats.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = reg.WriteJSON(f)
+	} else {
+		err = reg.WritePrometheus(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
 
 type experiment struct {
 	name  string
@@ -141,11 +188,13 @@ func experiments() []experiment {
 
 func main() {
 	var (
-		which  = flag.String("exp", "all", "experiment to run (or 'all')")
-		scale  = flag.Float64("scale", 1.0/256, "input size as a fraction of the Table I sizes")
-		seed   = flag.Int64("seed", 20160618, "workload generator seed")
-		list   = flag.Bool("list", false, "list available experiments")
-		format = flag.String("format", "table", "output format: table or csv")
+		which      = flag.String("exp", "all", "experiment to run (or 'all')")
+		scale      = flag.Float64("scale", 1.0/256, "input size as a fraction of the Table I sizes")
+		seed       = flag.Int64("seed", 20160618, "workload generator seed")
+		list       = flag.Bool("list", false, "list available experiments")
+		format     = flag.String("format", "table", "output format: table or csv")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of every run to this file")
+		metricsOut = flag.String("metrics-out", "", "write aggregated metrics to this file (.json for JSON, else Prometheus text)")
 	)
 	flag.Parse()
 	exps := experiments()
@@ -158,6 +207,12 @@ func main() {
 	opts := exp.DefaultOptions()
 	opts.Scale = *scale
 	opts.Seed = *seed
+	if *traceOut != "" {
+		opts.Trace = trace.New(traceCap)
+	}
+	if *metricsOut != "" {
+		opts.Metrics = stats.NewRegistry()
+	}
 
 	run := func(e experiment) {
 		fmt.Printf("running %s (%s)...\n", e.name, e.paper)
@@ -178,20 +233,32 @@ func main() {
 		for _, e := range exps {
 			run(e)
 		}
-		return
-	}
-	for _, name := range strings.Split(*which, ",") {
-		found := false
-		for _, e := range exps {
-			if e.name == name {
-				run(e)
-				found = true
-				break
+	} else {
+		for _, name := range strings.Split(*which, ",") {
+			found := false
+			for _, e := range exps {
+				if e.name == name {
+					run(e)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "morpheusbench: unknown experiment %q (use -list)\n", name)
+				os.Exit(2)
 			}
 		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "morpheusbench: unknown experiment %q (use -list)\n", name)
-			os.Exit(2)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, opts.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "morpheusbench: trace-out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, opts.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "morpheusbench: metrics-out: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

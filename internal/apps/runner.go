@@ -272,6 +272,16 @@ func Run(sys *core.System, app *App, files []*core.File, mode Mode) (*Report, er
 		// legend; keep it separate here and let the figure formatter fold.
 	}
 	rep.Total = units.Duration(t)
+	// Per-phase latency distributions, named after the Figure 2 legend.
+	recordPhase := func(p stats.Phase, d units.Duration) {
+		if d > 0 {
+			sys.Metrics.Histogram("phase."+string(p)+"_ps").Record(int64(d))
+		}
+	}
+	recordPhase(stats.PhaseDeserialize, rep.Deser)
+	recordPhase(stats.PhaseCPUCompute, rep.OtherCPU)
+	recordPhase(stats.PhaseGPUCopy, rep.GPUCopy)
+	recordPhase(stats.PhaseGPUKernel, rep.GPUKernel)
 	return rep, nil
 }
 

@@ -128,6 +128,9 @@ func (s *System) DeserializeConventional(ready units.Time, f *File, parser HostP
 			s.Counters.Add(stats.CmdTimeouts, 1)
 			failed = true
 		}
+		// The chunk leaves the queue here either way: a failed readahead is
+		// replayed as a fresh command below, which accounts for itself.
+		s.Driver.reaped(pending[k])
 		if failed {
 			// The page cache drops the bad readahead; the consuming read(2)
 			// re-issues the chunk synchronously under the retry policy.
@@ -161,6 +164,7 @@ func (s *System) DeserializeConventional(ready units.Time, f *File, parser HostP
 			t = s.Host.ContextSwitch(t)
 			t = s.Host.ContextSwitch(t)
 		}
+		s.sampleGauges(t)
 		raw := raws[k]
 		raws[k] = nil
 		ch := chunks[k]

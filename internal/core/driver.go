@@ -5,6 +5,7 @@ import (
 
 	"morpheus/internal/nvme"
 	"morpheus/internal/ssd"
+	"morpheus/internal/trace"
 	"morpheus/internal/units"
 )
 
@@ -19,6 +20,12 @@ type Driver struct {
 	// doorbell; ReapCycles is the per-completion handling cost.
 	SubmitCycles float64
 	ReapCycles   float64
+
+	// inflight counts submitted-but-unreaped commands (the queue-depth
+	// gauge). It is a model-level quantity: the simulated host may have
+	// many commands outstanding even though the simulator itself runs the
+	// device model synchronously.
+	inflight int
 }
 
 // NewDriver builds a driver with one I/O queue pair of the given depth.
@@ -66,6 +73,12 @@ type Pending struct {
 	// Submitted is when the host issued the command; retry policies use it
 	// to check per-command deadlines at batch-flush time.
 	Submitted units.Time
+	// Op is the command's opcode, kept for per-opcode latency attribution
+	// at reap time.
+	Op nvme.Opcode
+	// Span is the causal trace span allocated at submission (zero when
+	// tracing is off).
+	Span trace.SpanID
 }
 
 // SubmitAsync submits one command without waiting: the host thread pays
@@ -84,6 +97,16 @@ func (d *Driver) SubmitAsync(ready units.Time, ctx *ssd.CmdContext) (Pending, un
 	}
 	tCPU := d.sys.Host.ComputeCycles(ready, d.SubmitCycles)
 	d.sys.Host.MemTraffic(ready, nvme.CommandSize)
+	// Root of the command's causal chain: the span is allocated here and
+	// rides in the context, so every device-side event the command causes
+	// links back to this submission.
+	span := d.sys.tracer.NextSpan()
+	ctx.Span = span
+	if span != 0 {
+		d.sys.tracer.RecordSpan("host", "submit",
+			fmt.Sprintf("op=%s cid=%d", ctx.Cmd.Opcode, cid), span, 0, ready, tCPU)
+	}
+	d.inflight++
 	comp, done := d.sys.SSD.Submit(tCPU, ctx)
 	if err := d.qp.Complete(comp.CID, comp.Status, comp.Result); err != nil {
 		return Pending{}, tCPU, err
@@ -91,7 +114,15 @@ func (d *Driver) SubmitAsync(ready units.Time, ctx *ssd.CmdContext) (Pending, un
 	if _, err := d.qp.CQ.Reap(); err != nil {
 		return Pending{}, tCPU, err
 	}
-	return Pending{CID: cid, Comp: comp, Done: done, Submitted: ready}, tCPU, nil
+	return Pending{CID: cid, Comp: comp, Done: done, Submitted: ready, Op: ctx.Cmd.Opcode, Span: span}, tCPU, nil
+}
+
+// reaped accounts one command leaving the queue: the per-opcode latency
+// histogram gets the submit-to-device-completion time, and the inflight
+// count drops.
+func (d *Driver) reaped(p Pending) {
+	d.inflight--
+	d.sys.Metrics.Histogram("nvme."+p.Op.String()+".latency_ps").Record(int64(p.Done.Sub(p.Submitted)))
 }
 
 // Wait blocks the host thread until the pending command completes,
@@ -107,6 +138,8 @@ func (d *Driver) Wait(ready units.Time, p Pending) (nvme.Completion, units.Time)
 	}
 	t = d.sys.Host.ComputeCycles(t, d.ReapCycles)
 	d.sys.Host.MemTraffic(t, nvme.CompletionSize)
+	d.reaped(p)
+	d.sys.sampleGauges(t)
 	return p.Comp, t
 }
 
@@ -142,7 +175,9 @@ func (d *Driver) WaitBatch(ready units.Time, ps []Pending) ([]nvme.Completion, u
 	for i, p := range ps {
 		comps[i] = p.Comp
 		t = d.sys.Host.ComputeCycles(t, d.ReapCycles)
+		d.reaped(p)
 	}
 	d.sys.Host.MemTraffic(t, units.Bytes(len(ps))*nvme.CompletionSize)
+	d.sys.sampleGauges(t)
 	return comps, t
 }

@@ -85,6 +85,19 @@ func (d *Driver) SubmitRetry(ready units.Time, op string, p RetryPolicy, makeCtx
 	backoff := p.Backoff
 	t := ready
 	var lastErr error
+	// outcome attributes the whole retried operation's latency: "ok" for a
+	// clean first attempt, "recovered" when a retry saved it, "failed" when
+	// the policy gave up or hit a terminal status.
+	outcome := func(attempt int, err error) {
+		o := "ok"
+		switch {
+		case err != nil:
+			o = "failed"
+		case attempt > 1:
+			o = "recovered"
+		}
+		d.sys.Metrics.Histogram("core."+op+".latency_ps."+o).Record(int64(t.Sub(ready)))
+	}
 	// record chains failures across attempts with %w, so a media error on
 	// attempt 1 stays classifiable even when the retry fails differently
 	// (e.g. the retired block turned the LBA unmappable).
@@ -111,13 +124,17 @@ func (d *Driver) SubmitRetry(ready units.Time, op string, p RetryPolicy, makeCtx
 		case comp.Status.Err() != nil:
 			record(statusErr(op, comp.Status))
 			if !comp.Status.Retryable() {
+				outcome(attempt, lastErr)
 				return comp, t, lastErr
 			}
 		default:
+			outcome(attempt, nil)
 			return comp, t, nil
 		}
 		if attempt >= p.MaxAttempts {
-			return comp, t, fmt.Errorf("core: %s gave up after %d attempts: %w", op, attempt, lastErr)
+			err := fmt.Errorf("core: %s gave up after %d attempts: %w", op, attempt, lastErr)
+			outcome(attempt, err)
+			return comp, t, err
 		}
 		d.sys.Counters.Add(stats.CmdRetries, 1)
 		t = t.Add(backoff)

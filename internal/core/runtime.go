@@ -162,6 +162,7 @@ func (s *System) InvokeStorageApp(ready units.Time, opt InvokeOptions) (*InvokeR
 			if err == nil {
 				res.Path = PathMorpheus
 				res.Attempts = attempts
+				s.recordInvoke(ready, res)
 				return res, nil
 			}
 			// Chain across train replays so the first failure's class (a
@@ -183,7 +184,18 @@ func (s *System) InvokeStorageApp(ready units.Time, opt InvokeOptions) (*InvokeR
 	if opt.Fallback == nil || !fallbackWorthy(lastErr) {
 		return nil, lastErr
 	}
-	return s.invokeFallback(t, opt, lastErr, attempts)
+	res, err := s.invokeFallback(t, opt, lastErr, attempts)
+	if err == nil {
+		s.recordInvoke(ready, res)
+	}
+	return res, err
+}
+
+// recordInvoke charges one served invocation into the latency histograms,
+// attributed to the path that ultimately served it.
+func (s *System) recordInvoke(ready units.Time, res *InvokeResult) {
+	s.Metrics.Histogram("core.invoke.latency_ps."+res.Path.String()).Record(int64(res.Done.Sub(ready)))
+	s.Metrics.Histogram("core.invoke.attempts").Record(int64(res.Attempts))
 }
 
 // invokeMorpheusOnce runs one complete MINIT/MREAD*/MDEINIT train. On any
@@ -506,6 +518,7 @@ func (s *System) SerializeStorageApp(ready units.Time, app *StorageApp, f *File,
 	}
 	res.RetVal = comp.Result
 	res.Done = t
+	s.Metrics.Histogram("phase."+string(stats.PhaseSerialize)+"_ps").Record(int64(t.Sub(ready)))
 	return res, nil
 }
 

@@ -66,7 +66,11 @@ type File struct {
 
 // System is the whole simulated testbed.
 type System struct {
-	Cfg      SystemConfig
+	Cfg SystemConfig
+	// Metrics joins every counter, latency histogram, and utilization
+	// gauge the testbed records; Counters is its counter set (the models
+	// write counters through it directly, as they always have).
+	Metrics  *stats.Registry
 	Counters *stats.Set
 	Fabric   *pcie.Fabric
 	Host     *host.Host
@@ -83,11 +87,14 @@ type System struct {
 	replica      *host.PipeMedium
 	nextPage     int64
 	nextInstance uint32
+
+	tracer *trace.Tracer
 }
 
 // NewSystem builds the testbed.
 func NewSystem(cfg SystemConfig) (*System, error) {
-	counters := stats.NewSet()
+	metrics := stats.NewRegistry()
+	counters := metrics.Counters()
 	fabric := pcie.NewFabric(counters, host.EndpointName)
 	h, err := host.New(cfg.CPU, cfg.OS, cfg.Mem, counters, fabric)
 	if err != nil {
@@ -99,6 +106,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	}
 	sys := &System{
 		Cfg:      cfg,
+		Metrics:  metrics,
 		Counters: counters,
 		Fabric:   fabric,
 		Host:     h,
@@ -177,16 +185,52 @@ func (s *System) ResetTimers() {
 	s.Host.Cores.Reset()
 	s.Host.MemBus.Reset()
 	s.SSD.ResetTimers()
-	s.Counters.Reset()
+	s.Metrics.Reset()
 }
 
-// EnableTrace attaches an event tracer to the SSD (capped at cap events;
-// 0 = unbounded) and returns it. Use tracer.WriteTimeline / WriteGantt to
-// inspect command-level overlap.
+// EnableTrace attaches a fresh event tracer (capped at cap events; 0 =
+// unbounded) to every unit of the testbed and returns it. Use
+// tracer.WriteTimeline / WriteGantt / WriteChromeTrace to inspect
+// command-level overlap.
 func (s *System) EnableTrace(cap int) *trace.Tracer {
 	t := trace.New(cap)
-	s.SSD.SetTracer(t)
+	s.AttachTracer(t)
 	return t
+}
+
+// AttachTracer wires an existing tracer into every unit — the driver (span
+// allocation and host-side submit events), the SSD pipeline (firmware,
+// FTL, flash, DMA), and the GPU. Experiments that aggregate several
+// systems into one trace share a tracer this way. Nil detaches.
+func (s *System) AttachTracer(t *trace.Tracer) {
+	s.tracer = t
+	s.SSD.SetTracer(t)
+	if s.GPU != nil {
+		s.GPU.SetTracer(t)
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (s *System) Tracer() *trace.Tracer { return s.tracer }
+
+// sampleGauges records one utilization sample per shared resource on the
+// virtual clock. The driver calls it at command completion points, so
+// gauge resolution follows command rate.
+func (s *System) sampleGauges(now units.Time) {
+	if now <= 0 {
+		return
+	}
+	m := s.Metrics
+	t := int64(now)
+	m.Gauge("nvme.queue_depth").Sample(t, float64(s.Driver.inflight))
+	inst := float64(s.SSD.Instances())
+	m.Gauge("ssd.slots_in_use").Sample(t, inst)
+	m.Gauge("ssd.slots_util").Sample(t, inst/float64(s.SSD.MaxInstances()))
+	ch := float64(s.Cfg.SSD.Geometry.Channels)
+	m.Gauge("flash.channel_util").Sample(t, float64(s.SSD.Flash.ChannelBusyTime())/(ch*float64(now)))
+	// Full-duplex link: busy time is summed over both directions.
+	m.Gauge("pcie.ssd_link_util").Sample(t, float64(s.Fabric.Endpoint(ssd.EndpointName).BusyTime())/(2*float64(now)))
+	m.Gauge("host.cpu_util").Sample(t, float64(s.Host.Cores.BusyTime())/(float64(s.Cfg.CPU.Cores)*float64(now)))
 }
 
 // NextInstanceID issues a unique StorageApp instance ID ("the Morpheus-SSD

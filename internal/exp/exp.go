@@ -15,6 +15,8 @@ import (
 	"morpheus/internal/apps"
 	"morpheus/internal/core"
 	"morpheus/internal/flash"
+	"morpheus/internal/stats"
+	"morpheus/internal/trace"
 	"morpheus/internal/units"
 )
 
@@ -34,6 +36,29 @@ type Options struct {
 	// the flash array after staging (so setup writes are unaffected but
 	// measured reads see the faults).
 	Faults flash.FaultModel
+	// Trace, when set, is attached to every system the experiment builds
+	// (after staging, so setup I/O does not pollute it) and collects causal
+	// spans across all runs.
+	Trace *trace.Tracer
+	// Metrics, when set, aggregates every run's counters, latency
+	// histograms, and gauges across the experiment.
+	Metrics *stats.Registry
+}
+
+// observe wires the experiment-wide tracer into a freshly staged system.
+// Call it after staging/ResetTimers so the trace starts at the
+// measurement boundary.
+func (o Options) observe(sys *core.System) {
+	if o.Trace != nil {
+		sys.AttachTracer(o.Trace)
+	}
+}
+
+// collect folds one finished run's metrics into the experiment aggregate.
+func (o Options) collect(sys *core.System) {
+	if o.Metrics != nil {
+		o.Metrics.Merge(sys.Metrics)
+	}
 }
 
 // DefaultOptions is the bench-friendly configuration.
@@ -80,10 +105,12 @@ func runApp(app *apps.App, mode apps.Mode, o Options) (*apps.Report, *core.Syste
 		sys.SSD.Flash.SetFaultModel(o.Faults)
 	}
 	sys.ResetTimers()
+	o.observe(sys)
 	rep, err := apps.Run(sys, app, files, mode)
 	if err != nil {
 		return nil, nil, err
 	}
+	o.collect(sys)
 	return rep, sys, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"morpheus/internal/apps"
 	"morpheus/internal/host"
+	"morpheus/internal/stats"
 	"morpheus/internal/units"
 )
 
@@ -29,6 +30,9 @@ type MultiprogResult struct {
 	Rows             []MultiprogRow
 	AvgBaseSlowdown  float64
 	AvgMorphSlowdown float64
+	// Counters aggregates every tenant run's counter set (merged copies,
+	// not shared state), exposed read-only for cross-tenant accounting.
+	Counters stats.Snapshot
 }
 
 // RunMultiprog measures deserialization under a co-runner consuming the
@@ -39,6 +43,7 @@ func RunMultiprog(o Options, load float64) (*MultiprogResult, error) {
 	}
 	res := &MultiprogResult{Load: load}
 	var baseS, morphS []float64
+	total := stats.NewSet()
 	// A subset representative of both parallel models keeps the sweep
 	// affordable: a 4-thread MPI app, a CUDA app, and the float outlier.
 	for _, name := range []string{"pagerank", "bfs", "nn", "spmv"} {
@@ -58,6 +63,7 @@ func RunMultiprog(o Options, load float64) (*MultiprogResult, error) {
 					return nil, err
 				}
 				sys.ResetTimers()
+				o.observe(sys)
 				if contended {
 					// Generous horizon: several times the isolated time.
 					cr := host.DefaultCoRunner(sys.Host, load)
@@ -67,6 +73,8 @@ func RunMultiprog(o Options, load float64) (*MultiprogResult, error) {
 				if err != nil {
 					return nil, fmt.Errorf("multiprog %s %v: %w", name, mode, err)
 				}
+				total.Merge(sys.Counters)
+				o.collect(sys)
 				switch {
 				case mode == apps.ModeBaseline && !contended:
 					row.BaseIsolated = rep.Deser
@@ -87,6 +95,7 @@ func RunMultiprog(o Options, load float64) (*MultiprogResult, error) {
 	}
 	res.AvgBaseSlowdown = mean(baseS)
 	res.AvgMorphSlowdown = mean(morphS)
+	res.Counters = total.Snapshot()
 	return res, nil
 }
 

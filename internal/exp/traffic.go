@@ -41,12 +41,15 @@ func RunTraffic(o Options) (*TrafficResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("traffic %s morpheus: %w", app.Name, err)
 		}
+		// Read through point-in-time snapshots so later activity on the
+		// systems (or a tenant sharing the set) cannot skew the rows.
+		cb, cm := sysB.Counters.Snapshot(), sysM.Counters.Snapshot()
 		row := TrafficRow{
 			App:         app.Name,
-			BasePCIe:    sysB.Counters.Bytes(stats.PCIeHostBytes) + sysB.Counters.Bytes(stats.PCIeP2PBytes),
-			MorphPCIe:   sysM.Counters.Bytes(stats.PCIeHostBytes) + sysM.Counters.Bytes(stats.PCIeP2PBytes),
-			BaseMemBus:  sysB.Counters.Bytes(stats.MemBusBytes),
-			MorphMemBus: sysM.Counters.Bytes(stats.MemBusBytes),
+			BasePCIe:    cb.Bytes(stats.PCIeHostBytes) + cb.Bytes(stats.PCIeP2PBytes),
+			MorphPCIe:   cm.Bytes(stats.PCIeHostBytes) + cm.Bytes(stats.PCIeP2PBytes),
+			BaseMemBus:  cb.Bytes(stats.MemBusBytes),
+			MorphMemBus: cm.Bytes(stats.MemBusBytes),
 		}
 		if row.BasePCIe > 0 {
 			row.PCIeReduction = 1 - float64(row.MorphPCIe)/float64(row.BasePCIe)

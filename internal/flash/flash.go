@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"morpheus/internal/sim"
+	"morpheus/internal/trace"
 	"morpheus/internal/units"
 )
 
@@ -123,7 +124,19 @@ type Array struct {
 
 	reads, programs, erases int64
 	readBytes, progBytes    units.Bytes
+
+	tracer *trace.Tracer
+	span   trace.SpanID
 }
+
+// SetTracer attaches an event tracer (nil to disable).
+func (a *Array) SetTracer(t *trace.Tracer) { a.tracer = t }
+
+// SetSpan sets the causal parent for subsequently recorded events. The
+// SSD controller sets it to the in-flight command's span for the duration
+// of each Submit (command processing is synchronous, so one span is
+// active at a time).
+func (a *Array) SetSpan(s trace.SpanID) { a.span = s }
 
 // New returns an erased array.
 func New(geo Geometry, timing Timing) (*Array, error) {
@@ -177,12 +190,16 @@ func (a *Array) Read(ready units.Time, addr PPA) (data []byte, done units.Time, 
 	}
 	a.reads++
 	extra, ferr := a.checkFaults(addr)
-	_, arrayDone := a.die(addr).Acquire(ready, a.timing.ReadArray+extra)
+	dieStart, arrayDone := a.die(addr).Acquire(ready, a.timing.ReadArray+extra)
 	if ferr != nil {
 		return nil, arrayDone, ferr
 	}
 	_, done = a.channels[addr.Channel].Transfer(arrayDone, a.geo.PageSize)
 	a.readBytes += a.geo.PageSize
+	if a.tracer != nil {
+		a.tracer.RecordSpan(fmt.Sprintf("flash.ch%d", addr.Channel), "read",
+			addr.String(), a.tracer.NextSpan(), a.span, dieStart, done)
+	}
 	if d, ok := a.data[addr]; ok {
 		return d, done, nil
 	}
@@ -208,11 +225,15 @@ func (a *Array) Program(ready units.Time, addr PPA, data []byte) (done units.Tim
 	}
 	page := make([]byte, a.geo.PageSize)
 	copy(page, data)
-	_, xferDone := a.channels[addr.Channel].Transfer(ready, a.geo.PageSize)
+	xferStart, xferDone := a.channels[addr.Channel].Transfer(ready, a.geo.PageSize)
 	_, done = a.die(addr).Acquire(xferDone, a.timing.ProgramArray)
 	a.data[addr] = page
 	a.programs++
 	a.progBytes += a.geo.PageSize
+	if a.tracer != nil {
+		a.tracer.RecordSpan(fmt.Sprintf("flash.ch%d", addr.Channel), "program",
+			addr.String(), a.tracer.NextSpan(), a.span, xferStart, done)
+	}
 	return done, nil
 }
 

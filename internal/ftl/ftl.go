@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"morpheus/internal/flash"
+	"morpheus/internal/trace"
 	"morpheus/internal/units"
 )
 
@@ -66,7 +67,17 @@ type FTL struct {
 	userPages int64 // exported logical capacity in pages
 	gcRuns    int64
 	gcMoved   int64
+
+	tracer *trace.Tracer
+	span   trace.SpanID
 }
+
+// SetTracer attaches an event tracer (nil to disable).
+func (f *FTL) SetTracer(t *trace.Tracer) { f.tracer = t }
+
+// SetSpan sets the causal parent for subsequently recorded events (the
+// in-flight NVMe command's span; see flash.Array.SetSpan).
+func (f *FTL) SetSpan(s trace.SpanID) { f.span = s }
 
 // New returns an FTL over the array.
 func New(array *flash.Array, cfg Config) *FTL {
@@ -124,6 +135,11 @@ func (f *FTL) Read(ready units.Time, lba LBA) ([]byte, units.Time, error) {
 	ppa, err := f.Lookup(lba)
 	if err != nil {
 		return nil, ready, fmt.Errorf("%w: %d", ErrUnmapped, lba)
+	}
+	if f.tracer != nil {
+		// Translation itself is free (an in-DRAM table walk): a point event.
+		f.tracer.RecordSpan("ftl", "map", fmt.Sprintf("lba=%d %v", lba, ppa),
+			f.tracer.NextSpan(), f.span, ready, ready)
 	}
 	data, done, err := f.array.Read(ready, ppa)
 	if errors.Is(err, flash.ErrUncorrectable) {

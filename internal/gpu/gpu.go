@@ -11,6 +11,7 @@ import (
 
 	"morpheus/internal/pcie"
 	"morpheus/internal/sim"
+	"morpheus/internal/trace"
 	"morpheus/internal/units"
 )
 
@@ -67,7 +68,12 @@ type GPU struct {
 
 	kernelsLaunched int64
 	kernelTime      units.Duration
+
+	tracer *trace.Tracer
 }
+
+// SetTracer attaches an event tracer (nil to disable).
+func (g *GPU) SetTracer(t *trace.Tracer) { g.tracer = t }
 
 // New attaches a GPU to the fabric.
 func New(cfg Config, fabric *pcie.Fabric) *GPU {
@@ -197,9 +203,14 @@ func (g *GPU) RunKernel(ready units.Time, spec KernelSpec) units.Time {
 		d = memTime
 	}
 	d += g.cfg.LaunchCost
-	_, end := g.sms.Acquire(ready, d)
+	start, end := g.sms.Acquire(ready, d)
 	g.kernelsLaunched++
 	g.kernelTime += d
+	if g.tracer != nil {
+		g.tracer.RecordSpan("gpu.sms", "kernel",
+			fmt.Sprintf("%s elements=%d", spec.Name, spec.Elements),
+			g.tracer.NextSpan(), 0, start, end)
+	}
 	return end
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"morpheus/internal/sim"
 	"morpheus/internal/stats"
+	"morpheus/internal/trace"
 	"morpheus/internal/units"
 )
 
@@ -95,6 +96,10 @@ func (e *Endpoint) UpstreamBytes() units.Bytes { return e.up.Moved() }
 // DownstreamBytes returns payload-equivalent wire bytes sent downstream.
 func (e *Endpoint) DownstreamBytes() units.Bytes { return e.down.Moved() }
 
+// BusyTime sums link occupancy across both directions (utilization
+// reports: divide by 2× the horizon for a full-duplex link).
+func (e *Endpoint) BusyTime() units.Duration { return e.up.BusyTime() + e.down.BusyTime() }
+
 // Fabric is the switch plus the attached endpoints and the address map.
 type Fabric struct {
 	endpoints map[string]*Endpoint
@@ -105,7 +110,17 @@ type Fabric struct {
 	// windows owned by it is counted as host traffic, everything else as
 	// peer-to-peer.
 	hostName string
+
+	tracer *trace.Tracer
+	span   trace.SpanID
 }
+
+// SetTracer attaches an event tracer (nil to disable).
+func (f *Fabric) SetTracer(t *trace.Tracer) { f.tracer = t }
+
+// SetSpan sets the causal parent for subsequently recorded DMA events
+// (the in-flight NVMe command's span; see flash.Array.SetSpan).
+func (f *Fabric) SetSpan(s trace.SpanID) { f.span = s }
 
 // NewFabric returns a fabric counting traffic into the given counter set.
 func NewFabric(counters *stats.Set, hostName string) *Fabric {
@@ -203,6 +218,10 @@ func (f *Fabric) WriteTo(ready units.Time, dev string, dst Addr, n units.Bytes) 
 	}
 	t = w.Sink.Deliver(t, n)
 	f.count(dev, w, n)
+	if f.tracer != nil {
+		f.tracer.RecordSpan("pcie."+dev, "dma-out",
+			fmt.Sprintf("%v -> %s", n, w.Name), f.tracer.NextSpan(), f.span, ready, t)
+	}
 	return t, nil
 }
 
@@ -219,6 +238,10 @@ func (f *Fabric) ReadFrom(ready units.Time, dev string, src Addr, n units.Bytes)
 	}
 	_, t = dst.down.Transfer(t, wireBytes(n))
 	f.count(dev, w, n)
+	if f.tracer != nil {
+		f.tracer.RecordSpan("pcie."+dev, "dma-in",
+			fmt.Sprintf("%v <- %s", n, w.Name), f.tracer.NextSpan(), f.span, ready, t)
+	}
 	return t, nil
 }
 

@@ -43,6 +43,11 @@ type CmdContext struct {
 	// extent is page-padded on flash; the ms_stream metadata carries the
 	// real file size). Zero means the whole chunk is valid.
 	ValidBytes int
+
+	// Span is the causal trace span the driver allocated for this command
+	// at submission; every device-side event the command causes records it
+	// as parent. Zero when tracing is off.
+	Span trace.SpanID
 }
 
 // Controller is the Morpheus-SSD.
@@ -99,8 +104,17 @@ func New(cfg Config, counters *stats.Set, fabric *pcie.Fabric) (*Controller, err
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
-// SetTracer attaches a command/StorageApp event tracer (nil to disable).
-func (c *Controller) SetTracer(t *trace.Tracer) { c.tracer = t }
+// SetTracer attaches a command/StorageApp event tracer (nil to disable),
+// propagating it into the FTL, the flash array, and the PCIe fabric so
+// one tracer sees the whole device-side pipeline.
+func (c *Controller) SetTracer(t *trace.Tracer) {
+	c.tracer = t
+	c.FTL.SetTracer(t)
+	c.Flash.SetTracer(t)
+	if c.fabric != nil {
+		c.fabric.SetTracer(t)
+	}
+}
 
 // Cores exposes the embedded-core resources (for utilization reports).
 func (c *Controller) Cores() []*sim.Resource { return c.cores }
@@ -109,8 +123,8 @@ func (c *Controller) Cores() []*sim.Resource { return c.cores }
 // execution slots).
 func (c *Controller) Instances() int { return len(c.instances) }
 
-// maxInstances resolves the execution-slot budget.
-func (c *Controller) maxInstances() int {
+// MaxInstances resolves the execution-slot budget.
+func (c *Controller) MaxInstances() int {
 	if c.cfg.MaxInstances > 0 {
 		return c.cfg.MaxInstances
 	}
@@ -162,6 +176,23 @@ func (c *Controller) Submit(ready units.Time, ctx *CmdContext) (nvme.Completion,
 	if cmd.Opcode.IsMorpheus() {
 		c.counters.Add(stats.MorphCommands, 1)
 	}
+	if c.tracer != nil {
+		// Command processing is synchronous within this call, so the FTL,
+		// flash, and DMA layers can carry the command's span implicitly for
+		// its duration rather than threading it through every signature.
+		c.FTL.SetSpan(ctx.Span)
+		c.Flash.SetSpan(ctx.Span)
+		if c.fabric != nil {
+			c.fabric.SetSpan(ctx.Span)
+		}
+		defer func() {
+			c.FTL.SetSpan(0)
+			c.Flash.SetSpan(0)
+			if c.fabric != nil {
+				c.fabric.SetSpan(0)
+			}
+		}()
+	}
 	// Fetch the 64-byte SQE from the host ring.
 	t := ready
 	if c.fabric != nil {
@@ -206,9 +237,11 @@ func (c *Controller) Submit(ready units.Time, ctx *CmdContext) (nvme.Completion,
 			done = end
 		}
 	}
-	c.tracer.Record("nvme", cmd.Opcode.String(),
-		fmt.Sprintf("slba=%d nlb=%d status=0x%x", cmd.SLBA(), cmd.NLB(), uint16(status)),
-		ready, done)
+	if c.tracer != nil {
+		c.tracer.RecordSpan("nvme", cmd.Opcode.String(),
+			fmt.Sprintf("slba=%d nlb=%d status=0x%x", cmd.SLBA(), cmd.NLB(), uint16(status)),
+			c.tracer.NextSpan(), ctx.Span, ready, done)
+	}
 	return nvme.Completion{CID: cmd.CID, Status: status, Result: result}, done
 }
 
@@ -388,7 +421,7 @@ func (c *Controller) doMInit(ready units.Time, ctx *CmdContext) (nvme.Status, un
 	// Slot exhaustion: every execution slot occupied, or no DRAM left for
 	// another chunk buffer. Both clear when an instance is released, so
 	// the host may retry.
-	if len(c.instances) >= c.maxInstances() ||
+	if len(c.instances) >= c.MaxInstances() ||
 		c.dramReserved+c.instanceBufSize() > c.cfg.DRAMSize {
 		return nvme.StatusNoSlots, ready
 	}
@@ -428,7 +461,12 @@ func (c *Controller) doMRead(ready units.Time, ctx *CmdContext) (nvme.Status, un
 	// The NVMe frontend parses the command and sequences the flash
 	// fetches autonomously, so chunk k+1's data streams in while the
 	// pinned core still runs the StorageApp over chunk k.
-	_, t := c.frontend.Acquire(ready, c.cfg.FirmwareCmdCost)
+	feStart, t := c.frontend.Acquire(ready, c.cfg.FirmwareCmdCost)
+	if c.tracer != nil {
+		c.tracer.RecordSpan("ssd.frontend", "parse",
+			fmt.Sprintf("instance=%d", ctx.Cmd.Instance()),
+			c.tracer.NextSpan(), ctx.Span, feStart, t)
+	}
 	dst := pcie.Addr(ctx.Cmd.PRP1)
 	nlb := ctx.Cmd.NLB()
 	// Collect the chunk's pages into D-SRAM (via DRAM), then run the
@@ -460,9 +498,11 @@ func (c *Controller) doMRead(ready units.Time, ctx *CmdContext) (nvme.Status, un
 	}
 	vmStart, end := core.Acquire(dataAt, c.cfg.CoreFreq.Cycles(res.cycles))
 	in.lastVMEnd = end
-	c.tracer.Record(fmt.Sprintf("ssd.core%d", in.coreIdx), "storageapp",
-		fmt.Sprintf("instance=%d chunk=%dB cycles=%.0f", in.id, len(chunk), res.cycles),
-		vmStart, end)
+	if c.tracer != nil {
+		c.tracer.RecordSpan(fmt.Sprintf("ssd.core%d", in.coreIdx), "storageapp",
+			fmt.Sprintf("instance=%d chunk=%dB cycles=%.0f", in.id, len(chunk), res.cycles),
+			c.tracer.NextSpan(), ctx.Span, vmStart, end)
+	}
 	c.counters.Add(stats.StorageAppCyc, int64(res.cycles))
 	// DMA the produced objects to the destination (host DRAM or GPU BAR).
 	if len(res.out) > 0 {

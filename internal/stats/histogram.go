@@ -1,0 +1,297 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// histBuckets is one bucket per power of two of an int64, plus bucket 0
+// for non-positive values: bucket i (i ≥ 1) covers [2^(i-1), 2^i - 1].
+const histBuckets = 65
+
+// Histogram is a log-bucketed latency histogram: O(1) record, fixed
+// memory, and quantile estimates whose error is bounded by the width of
+// the bucket the quantile lands in (i.e. at most the true value itself,
+// since bucket width < bucket lower bound). Values are int64 — by
+// convention picoseconds for latency metrics, but any non-negative
+// quantity works. Safe for concurrent use; the zero value is ready.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [histBuckets]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketUpper returns the largest value bucket i can hold.
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the upper bound of
+// the bucket holding the rank-⌈q·count⌉ observation, clamped to the
+// observed [min, max]. The estimate never undershoots the true quantile
+// by more than zero and never overshoots it by more than the bucket
+// width, and is monotone in q. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i]
+		if cum >= rank {
+			v := bucketUpper(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds every observation of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	buckets, count, sum, min, max := o.buckets, o.count, o.sum, o.min, o.max
+	o.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range buckets {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || min < h.min {
+		h.min = min
+	}
+	if max > h.max {
+		h.max = max
+	}
+	h.count += count
+	h.sum += sum
+}
+
+// Buckets returns the non-empty buckets as (upper bound, count) pairs in
+// ascending order, for rendering.
+func (h *Histogram) Buckets() []BucketCount {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []BucketCount
+	for i, c := range h.buckets {
+		if c > 0 {
+			out = append(out, BucketCount{Upper: bucketUpper(i), Count: c})
+		}
+	}
+	return out
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	Upper int64 // largest value the bucket can hold
+	Count int64
+}
+
+// Gauge tracks a sampled quantity over virtual time: the last value, the
+// range, and the time-weighted mean (each sample holds until the next).
+// Safe for concurrent use; the zero value is ready.
+type Gauge struct {
+	mu       sync.Mutex
+	samples  int64
+	last     float64
+	min      float64
+	max      float64
+	weighted float64 // integral of value dt since the first sample
+	firstT   int64
+	lastT    int64
+}
+
+// Sample records value v at virtual time t (picoseconds). Out-of-order
+// samples (t before the previous sample) update the value without
+// accumulating negative weight.
+func (g *Gauge) Sample(t int64, v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.samples == 0 {
+		g.firstT = t
+		g.min, g.max = v, v
+	} else {
+		if dt := t - g.lastT; dt > 0 {
+			g.weighted += g.last * float64(dt)
+		}
+		if v < g.min {
+			g.min = v
+		}
+		if v > g.max {
+			g.max = v
+		}
+	}
+	g.samples++
+	g.last = v
+	if t > g.lastT || g.samples == 1 {
+		g.lastT = t
+	}
+}
+
+// Samples returns the number of recorded samples.
+func (g *Gauge) Samples() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.samples
+}
+
+// Last returns the most recent sample value.
+func (g *Gauge) Last() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.last
+}
+
+// Min returns the smallest sample value.
+func (g *Gauge) Min() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.min
+}
+
+// Max returns the largest sample value.
+func (g *Gauge) Max() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
+
+// Mean returns the time-weighted mean over the sampled interval, or the
+// plain last value when the interval is empty.
+func (g *Gauge) Mean() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	span := g.lastT - g.firstT
+	if g.samples == 0 || span <= 0 {
+		return g.last
+	}
+	return g.weighted / float64(span)
+}
+
+// Merge folds o's samples into g as summary statistics: counts add, the
+// range widens, and the time-weighted integrals concatenate. The merged
+// mean weights each gauge by its own sampled interval.
+func (g *Gauge) Merge(o *Gauge) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	samples, last, min, max, weighted := o.samples, o.last, o.min, o.max, o.weighted
+	firstT, lastT := o.firstT, o.lastT
+	o.mu.Unlock()
+	if samples == 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.samples == 0 {
+		g.min, g.max, g.firstT, g.lastT = min, max, firstT, lastT
+	} else {
+		if min < g.min {
+			g.min = min
+		}
+		if max > g.max {
+			g.max = max
+		}
+		if firstT < g.firstT {
+			g.firstT = firstT
+		}
+		if lastT > g.lastT {
+			g.lastT = lastT
+		}
+	}
+	g.samples += samples
+	g.last = last
+	g.weighted += weighted
+}

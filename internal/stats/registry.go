@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry joins the three metric kinds — monotonic counters, latency
+// histograms, and sampled gauges — under one namespace so experiments
+// and the bench binary can emit them together. Names follow the
+// `unit.metric` convention ("nvme.MREAD.latency_ps", "flash.channel_util").
+// Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters *Set
+	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry with a fresh counter set.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: NewSet(),
+		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counters returns the registry's counter set. The models write to it
+// directly; Set is the same type they always used.
+func (r *Registry) Counters() *Set { return r.counters }
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// histNames returns the histogram names sorted; gaugeNames likewise.
+func (r *Registry) histNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (r *Registry) gaugeNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge folds every metric of o into r: counters add, histograms merge
+// bucket-wise, gauges merge as summaries. Used by experiments that run
+// several systems (tenants, modes) and want one aggregate emission.
+func (r *Registry) Merge(o *Registry) {
+	if o == nil {
+		return
+	}
+	r.counters.Merge(o.counters)
+	for _, n := range o.histNames() {
+		r.Histogram(n).Merge(o.Histogram(n))
+	}
+	for _, n := range o.gaugeNames() {
+		r.Gauge(n).Merge(o.Gauge(n))
+	}
+}
+
+// Reset clears every metric.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters.Reset()
+	r.hists = make(map[string]*Histogram)
+	r.gauges = make(map[string]*Gauge)
+}
+
+// promName sanitizes a `unit.metric` name into the Prometheus charset.
+func promName(name string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			return c
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// quantiles emitted for every histogram, in ascending order.
+var histQuantiles = []struct {
+	q     float64
+	label string
+}{
+	{0.5, "0.5"},
+	{0.95, "0.95"},
+	{0.99, "0.99"},
+	{1, "1"},
+}
+
+// WritePrometheus emits every metric in Prometheus text exposition
+// format: counters and gauges as their namesake types, histograms as
+// summaries with p50/p95/p99/max quantile lines plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, n := range r.counters.Names() {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, r.counters.Get(n)); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.histNames() {
+		h := r.Histogram(n)
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
+			return err
+		}
+		for _, qt := range histQuantiles {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %d\n", pn, qt.label, h.Quantile(qt.q)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, h.Sum(), pn, h.Count()); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.gaugeNames() {
+		g := r.Gauge(n)
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n%s_mean %g\n%s_max %g\n",
+			pn, pn, g.Last(), pn, g.Mean(), pn, g.Max()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histJSON is a histogram's JSON snapshot shape.
+type histJSON struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Min     int64         `json:"min"`
+	Max     int64         `json:"max"`
+	P50     int64         `json:"p50"`
+	P95     int64         `json:"p95"`
+	P99     int64         `json:"p99"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// gaugeJSON is a gauge's JSON snapshot shape.
+type gaugeJSON struct {
+	Samples int64   `json:"samples"`
+	Last    float64 `json:"last"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
+}
+
+// WriteJSON emits a machine-readable snapshot of every metric. Map keys
+// are emitted sorted by encoding/json, so output is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	counters := map[string]int64{}
+	snap := r.counters.Snapshot()
+	for _, n := range snap.Names() {
+		counters[n] = snap.Get(n)
+	}
+	hists := map[string]histJSON{}
+	for _, n := range r.histNames() {
+		h := r.Histogram(n)
+		hists[n] = histJSON{
+			Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+			P50: h.Quantile(0.5), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+			Buckets: h.Buckets(),
+		}
+	}
+	gauges := map[string]gaugeJSON{}
+	for _, n := range r.gaugeNames() {
+		g := r.Gauge(n)
+		gauges[n] = gaugeJSON{Samples: g.Samples(), Last: g.Last(), Min: g.Min(), Max: g.Max(), Mean: g.Mean()}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		Counters   map[string]int64     `json:"counters"`
+		Histograms map[string]histJSON  `json:"histograms"`
+		Gauges     map[string]gaugeJSON `json:"gauges"`
+	}{counters, hists, gauges})
+}

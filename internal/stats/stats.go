@@ -60,6 +60,48 @@ func (s *Set) Bytes(name string) units.Bytes { return units.Bytes(s.counters[nam
 // Reset clears all counters.
 func (s *Set) Reset() { s.counters = make(map[string]int64) }
 
+// Merge adds every counter from o into s. Aggregating per-tenant sets
+// (multiprog, traffic) goes through this rather than sharing one Set.
+func (s *Set) Merge(o *Set) {
+	if o == nil {
+		return
+	}
+	for n, v := range o.counters {
+		s.counters[n] += v
+	}
+}
+
+// Snapshot returns a read-only copy of the current counter values,
+// decoupled from further writes.
+func (s *Set) Snapshot() Snapshot {
+	c := make(map[string]int64, len(s.counters))
+	for n, v := range s.counters {
+		c[n] = v
+	}
+	return Snapshot{counters: c}
+}
+
+// Snapshot is an immutable view of a Set at one instant.
+type Snapshot struct {
+	counters map[string]int64
+}
+
+// Get returns the snapshotted value of counter name.
+func (s Snapshot) Get(name string) int64 { return s.counters[name] }
+
+// Bytes returns the snapshotted value of counter name as a byte count.
+func (s Snapshot) Bytes(name string) units.Bytes { return units.Bytes(s.counters[name]) }
+
+// Names returns the snapshotted counter names in sorted order.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Names returns all counter names in sorted order.
 func (s *Set) Names() []string {
 	names := make([]string, 0, len(s.counters))

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one entry in the Chrome trace-event JSON array. Field
+// order matters only for readability; Perfetto keys off ph/pid/tid/ts.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// trackUnit maps a track name to its owning unit: the prefix before the
+// first dot ("ssd.core1" → "ssd"), or the whole name for single-track
+// units ("nvme", "host").
+func trackUnit(track string) string {
+	if i := strings.IndexByte(track, '.'); i >= 0 {
+		return track[:i]
+	}
+	return track
+}
+
+// WriteChromeTrace emits the recorded events in Chrome trace-event JSON
+// (the format chrome://tracing and https://ui.perfetto.dev load). Each
+// unit becomes a process (pid) and each track a thread (tid) within it,
+// so Perfetto groups e.g. all ssd.core* rows under one "ssd" header.
+// Spans become complete ("X") events, instantaneous events become
+// thread-scoped instants ("i"), and span/parent IDs ride in args so the
+// causal chain survives the export. Output is deterministic for a given
+// tracer state.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	tracks := t.Tracks()
+
+	// Number units and tracks from their sorted order.
+	pidOf := map[string]int{}
+	tidOf := map[string]int{}
+	var units []string
+	for _, track := range tracks {
+		u := trackUnit(track)
+		if _, ok := pidOf[u]; !ok {
+			pidOf[u] = len(units) + 1
+			units = append(units, u)
+		}
+		tidOf[track] = len(tidOf) + 1
+	}
+	sort.Strings(units)
+
+	out := chromeFile{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	for _, u := range units {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pidOf[u],
+			Args: map[string]any{"name": u},
+		})
+	}
+	for _, track := range tracks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: pidOf[trackUnit(track)], TID: tidOf[track],
+			Args: map[string]any{"name": track},
+		})
+	}
+
+	const psPerMicro = 1e6 // units.Time is picoseconds; trace ts is µs
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			TS:   float64(e.Start) / psPerMicro,
+			PID:  pidOf[trackUnit(e.Track)],
+			TID:  tidOf[e.Track],
+		}
+		if e.Point() {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		} else {
+			ce.Phase = "X"
+			ce.Dur = float64(e.End-e.Start) / psPerMicro
+		}
+		args := map[string]any{}
+		if e.Span != 0 {
+			args["span"] = uint64(e.Span)
+		}
+		if e.Parent != 0 {
+			args["parent"] = uint64(e.Parent)
+		}
+		if e.Detail != "" {
+			args["detail"] = e.Detail
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -4,8 +4,16 @@
 // for observability: when a pipeline does not overlap the way a figure
 // expects, the timeline shows which unit serialized.
 //
+// Events carry causal span IDs: the host runtime allocates a span when it
+// submits an NVMe command, and every device-side event that command causes
+// (firmware parse, FTL translation, flash reads, StorageApp execution, DMA
+// transfers) records that span as its parent. The Chrome trace-event
+// exporter in chrome.go preserves the links, so a Perfetto flame view can
+// attribute any device activity back to the submitting command.
+//
 // A nil *Tracer is valid and records nothing, so the models can call it
-// unconditionally.
+// unconditionally. A non-nil Tracer is safe for concurrent use: exporters
+// may read while multi-unit models record.
 package trace
 
 import (
@@ -13,15 +21,25 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"morpheus/internal/units"
 )
+
+// SpanID identifies one causal span. Zero means "no span": an event
+// recorded outside any command's causal chain (setup work, co-runners).
+type SpanID uint64
 
 // Event is one span on a track.
 type Event struct {
 	Track  string // the unit: "nvme", "ssd.core1", "pcie", "host" ...
 	Name   string // what happened: "MREAD", "vm-exec", "dma-out" ...
 	Detail string
+	// Span is this event's own ID; Parent links it to the causing span
+	// (for device-side events, the span the host allocated at command
+	// submission). Either may be zero.
+	Span   SpanID
+	Parent SpanID
 	Start  units.Time
 	End    units.Time
 }
@@ -29,28 +47,58 @@ type Event struct {
 // Duration returns the span length.
 func (e Event) Duration() units.Duration { return e.End.Sub(e.Start) }
 
-// Tracer accumulates events. The zero value is ready to use.
+// Point reports whether the event is instantaneous (a marker, not a span).
+func (e Event) Point() bool { return e.End == e.Start }
+
+// Tracer accumulates events. The zero value is ready to use. All methods
+// are safe for concurrent use (and on a nil receiver, where they record
+// and return nothing).
 type Tracer struct {
+	mu     sync.Mutex
 	events []Event
 	// Cap bounds memory for long runs (0 = unlimited); once exceeded,
-	// further events are dropped and Dropped counts them.
-	Cap     int
-	dropped int64
+	// further events are dropped and Dropped counts them. Set it before
+	// sharing the tracer across goroutines.
+	Cap      int
+	dropped  int64
+	nextSpan uint64
 }
 
 // New returns a tracer bounded to cap events (0 = unbounded).
 func New(cap int) *Tracer { return &Tracer{Cap: cap} }
 
-// Record appends an event. Safe on a nil tracer.
+// NextSpan allocates a fresh span ID. IDs are issued sequentially, so a
+// deterministic simulation produces identical traces run to run. A nil
+// tracer returns the zero span.
+func (t *Tracer) NextSpan() SpanID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextSpan++
+	return SpanID(t.nextSpan)
+}
+
+// Record appends an event with no span links. Safe on a nil tracer.
 func (t *Tracer) Record(track, name, detail string, start, end units.Time) {
+	t.RecordSpan(track, name, detail, 0, 0, start, end)
+}
+
+// RecordSpan appends an event carrying causal span links. Safe on a nil
+// tracer.
+func (t *Tracer) RecordSpan(track, name, detail string, span, parent SpanID, start, end units.Time) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.Cap > 0 && len(t.events) >= t.Cap {
 		t.dropped++
 		return
 	}
-	t.events = append(t.events, Event{Track: track, Name: name, Detail: detail, Start: start, End: end})
+	t.events = append(t.events, Event{Track: track, Name: name, Detail: detail,
+		Span: span, Parent: parent, Start: start, End: end})
 }
 
 // Len reports the number of recorded events.
@@ -58,6 +106,8 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return len(t.events)
 }
 
@@ -66,6 +116,8 @@ func (t *Tracer) Dropped() int64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.dropped
 }
 
@@ -74,8 +126,10 @@ func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
 	out := make([]Event, len(t.events))
 	copy(out, t.events)
+	t.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
 }
@@ -106,7 +160,10 @@ func (t *Tracer) WriteTimeline(w io.Writer) {
 
 // WriteGantt renders a coarse per-track utilization chart over the traced
 // horizon: each track is a row of width cells, '#' where the track has at
-// least one event in flight.
+// least one span in flight and '|' where it has only instantaneous point
+// events. Span occupancy is half-open — a span [s, e) paints the cells it
+// actually overlaps, so back-to-back spans do not double-paint the shared
+// boundary cell and busy time is not overstated.
 func (t *Tracer) WriteGantt(w io.Writer, width int) {
 	events := t.Events()
 	if len(events) == 0 || width <= 0 {
@@ -133,12 +190,24 @@ func (t *Tracer) WriteGantt(w io.Writer, width int) {
 		for i := range row {
 			row[i] = '.'
 		}
+		// Spans first, then point markers (which never overwrite busy
+		// cells): a cell is '#' if any span overlaps it, '|' if only
+		// instants land in it.
 		for _, e := range events {
-			if e.Track != track {
+			if e.Track != track || e.Point() {
 				continue
 			}
-			for i := cell(e.Start); i <= cell(e.End); i++ {
+			// Half-open [Start, End): the last occupied instant is End-1.
+			for i := cell(e.Start); i <= cell(e.End-1); i++ {
 				row[i] = '#'
+			}
+		}
+		for _, e := range events {
+			if e.Track != track || !e.Point() {
+				continue
+			}
+			if i := cell(e.Start); row[i] != '#' {
+				row[i] = '|'
 			}
 		}
 		fmt.Fprintf(w, "%-14s |%s|\n", track, row)

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"morpheus/internal/units"
@@ -73,5 +74,73 @@ func TestGanttRendering(t *testing.T) {
 	New(0).WriteGantt(&empty, 20)
 	if empty.Len() != 0 {
 		t.Fatal("empty gantt must render nothing")
+	}
+}
+
+func TestConcurrentRecordAndSpans(t *testing.T) {
+	tr := New(0)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				span := tr.NextSpan()
+				tr.RecordSpan("t", "e", "", span, 0, units.Time(i), units.Time(i+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*per {
+		t.Fatalf("len = %d, want %d", tr.Len(), workers*per)
+	}
+	// Span IDs must be unique across goroutines.
+	seen := make(map[SpanID]bool, workers*per)
+	for _, e := range tr.Events() {
+		if e.Span == 0 || seen[e.Span] {
+			t.Fatalf("duplicate or zero span %d", e.Span)
+		}
+		seen[e.Span] = true
+	}
+}
+
+func TestGanttHalfOpenSpans(t *testing.T) {
+	// Two back-to-back spans: [0,50ms) then [50ms,100ms). With half-open
+	// painting the first must not bleed into the cell where the second
+	// starts, so each row covers exactly half the width.
+	tr := New(0)
+	tr.Record("a", "x", "", 0, units.Time(50*units.Millisecond))
+	tr.Record("b", "y", "", units.Time(50*units.Millisecond), units.Time(100*units.Millisecond))
+	var sb strings.Builder
+	tr.WriteGantt(&sb, 40)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	rowA, rowB := lines[0], lines[1]
+	if na, nb := strings.Count(rowA, "#"), strings.Count(rowB, "#"); na != nb {
+		t.Fatalf("adjacent equal spans painted unevenly: %d vs %d cells\n%s", na, nb, sb.String())
+	}
+	if strings.LastIndex(rowA, "#") >= strings.Index(rowB, "#") {
+		t.Fatalf("span a bleeds into span b's first cell:\n%s", sb.String())
+	}
+}
+
+func TestGanttPointEvents(t *testing.T) {
+	tr := New(0)
+	tr.Record("a", "busy", "", 0, units.Time(40*units.Millisecond))
+	tr.Record("a", "mark", "", units.Time(20*units.Millisecond), units.Time(20*units.Millisecond))
+	tr.Record("a", "late", "", units.Time(80*units.Millisecond), units.Time(80*units.Millisecond))
+	tr.Record("pad", "x", "", 0, units.Time(100*units.Millisecond))
+	var sb strings.Builder
+	tr.WriteGantt(&sb, 40)
+	rowA := strings.SplitN(sb.String(), "\n", 2)[0]
+	// Strip the row borders; what remains is the 40-cell area.
+	cells := rowA[strings.Index(rowA, "|")+1 : strings.LastIndex(rowA, "|")]
+	// The in-span point is hidden by the busy cell; the out-of-span one
+	// renders as a tick.
+	if !strings.Contains(cells, "|") {
+		t.Fatalf("point event outside a span must render '|':\n%s", sb.String())
+	}
+	if strings.Index(cells, "|") < strings.LastIndex(cells, "#") {
+		t.Fatalf("tick landed inside the span:\n%s", sb.String())
 	}
 }
