@@ -1,0 +1,106 @@
+// The parallel-harness smoke: times one experiment sequentially and
+// fanned across every CPU, proves the two emissions byte-identical, and
+// publishes the wall-clock speedup — both as a benchmark metric and,
+// when MORPHEUS_BENCH_HARNESS_OUT names a file, as a BENCH_harness.json
+// record for CI to archive:
+//
+//	MORPHEUS_BENCH_HARNESS_OUT=BENCH_harness.json \
+//	  go test -bench HarnessParallel -run '^$' .
+//
+// The speedup recorded is whatever the machine actually delivered: on a
+// single-core runner it hovers near 1.0x; the determinism check is what
+// must always hold.
+package morpheus
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"morpheus/internal/exp"
+	"morpheus/internal/stats"
+)
+
+// harnessResult is the BENCH_harness.json schema (documented in
+// EXPERIMENTS.md): one measurement of the parallel experiment runner
+// against its own sequential baseline.
+type harnessResult struct {
+	Experiment    string  `json:"experiment"`     // which sweep was timed
+	Scale         float64 `json:"scale"`          // input scale (fraction of Table I)
+	Seed          int64   `json:"seed"`           // workload generator seed
+	NumCPU        int     `json:"num_cpu"`        // runtime.NumCPU() on the machine
+	Workers       int     `json:"workers"`        // worker count of the parallel run
+	SequentialNS  int64   `json:"sequential_ns"`  // wall clock at -parallel 1
+	ParallelNS    int64   `json:"parallel_ns"`    // wall clock at -parallel NumCPU
+	Speedup       float64 `json:"speedup"`        // sequential_ns / parallel_ns
+	ByteIdentical bool    `json:"byte_identical"` // metrics JSON matched exactly
+}
+
+// timedFig8 runs Figure 8 under o with a fresh registry and returns the
+// metrics JSON emission plus the wall-clock time of the sweep itself
+// (emission excluded).
+func timedFig8(b *testing.B, o exp.Options) ([]byte, time.Duration) {
+	b.Helper()
+	o.Metrics = stats.NewRegistry()
+	start := time.Now()
+	if _, err := exp.RunFig8(o); err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	var buf bytes.Buffer
+	if err := o.Metrics.WriteJSON(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes(), elapsed
+}
+
+// BenchmarkHarnessParallel measures the parallel runner: Figure 8 at
+// -parallel 1 versus -parallel NumCPU must emit byte-identical metrics,
+// and the speedup lands in the parallel-x metric (and BENCH_harness.json
+// when requested).
+func BenchmarkHarnessParallel(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		seq := o
+		seq.Parallel = 1
+		seqJSON, seqDur := timedFig8(b, seq)
+		par := o
+		// At least two workers, so the pool-and-fold path is exercised
+		// (and the identity checked) even on a single-core machine.
+		par.Parallel = runtime.NumCPU()
+		if par.Parallel < 2 {
+			par.Parallel = 2
+		}
+		parJSON, parDur := timedFig8(b, par)
+		if i > 0 {
+			continue
+		}
+		if !bytes.Equal(seqJSON, parJSON) {
+			b.Fatalf("metrics JSON diverged between -parallel 1 and -parallel %d", par.Parallel)
+		}
+		res := harnessResult{
+			Experiment:    "fig8",
+			Scale:         seq.Scale,
+			Seed:          seq.Seed,
+			NumCPU:        runtime.NumCPU(),
+			Workers:       par.Parallel,
+			SequentialNS:  seqDur.Nanoseconds(),
+			ParallelNS:    parDur.Nanoseconds(),
+			Speedup:       float64(seqDur) / float64(parDur),
+			ByteIdentical: true,
+		}
+		b.ReportMetric(res.Speedup, "parallel-x")
+		if path := os.Getenv("MORPHEUS_BENCH_HARNESS_OUT"); path != "" {
+			data, err := json.MarshalIndent(res, "", " ")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

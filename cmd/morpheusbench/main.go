@@ -7,6 +7,7 @@
 //	morpheusbench -exp fig8               # one experiment
 //	morpheusbench -exp endtoend -scale 0.01 -seed 7
 //	morpheusbench -exp fig8 -trace-out trace.json -metrics-out metrics.prom
+//	morpheusbench -exp fig8 -parallel 8   # fan sweep points across 8 workers
 //	morpheusbench -list                   # show the experiment index
 //
 // Experiments: table1, fig2, fig3, profile, fig8, fig9, fig10, traffic,
@@ -16,6 +17,12 @@
 // https://ui.perfetto.dev or chrome://tracing); -metrics-out writes the
 // aggregated metrics registry, as Prometheus text by default or as JSON
 // when the file name ends in .json.
+//
+// -parallel fans an experiment's independent sweep points (one per
+// application) across a worker pool. Results — tables, -metrics-out,
+// -trace-out — are byte-identical at every worker count: each point runs
+// on an isolated system with private observation sinks, and the harness
+// folds them back in point order (see internal/exp/parallel.go).
 package main
 
 import (
@@ -195,6 +202,7 @@ func main() {
 		format     = flag.String("format", "table", "output format: table or csv")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of every run to this file")
 		metricsOut = flag.String("metrics-out", "", "write aggregated metrics to this file (.json for JSON, else Prometheus text)")
+		parallel   = flag.Int("parallel", 0, "workers for independent sweep points (0 = NumCPU, 1 = sequential); output is byte-identical at any setting")
 	)
 	flag.Parse()
 	exps := experiments()
@@ -207,6 +215,7 @@ func main() {
 	opts := exp.DefaultOptions()
 	opts.Scale = *scale
 	opts.Seed = *seed
+	opts.Parallel = *parallel
 	if *traceOut != "" {
 		opts.Trace = trace.New(traceCap)
 	}

@@ -212,6 +212,15 @@ func Run(sys *core.System, app *App, files []*core.File, mode Mode) (*Report, er
 	rep.DeserSSDIOBusy = (sys.SSD.Flash.ChannelBusyTime() - ssdIO0) /
 		units.Duration(sys.Cfg.SSD.Geometry.Channels)
 
+	// The deserialization phase is complete and every later phase (other
+	// CPU work, GPU copy, kernel) issues at ready >= deserEnd, so the
+	// host-side ledgers up to deserEnd are dead weight: retire them. Under
+	// a co-runner's periodic timeslices this is what keeps the core
+	// ledgers — and every later backfilling insert — from growing with
+	// input size.
+	sys.Host.Cores.Retire(deserEnd)
+	sys.Host.MemBus.Retire(deserEnd)
+
 	// ---- Other CPU computation --------------------------------------
 	t := deserEnd
 	if app.OtherCPUInstrPerObjByte > 0 {

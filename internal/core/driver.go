@@ -38,6 +38,11 @@ func NewDriver(sys *System, depth int) *Driver {
 	}
 }
 
+// ResetTimers clears the in-flight command count at the setup/measurement
+// boundary, so the queue-depth gauge of a measured run never inherits
+// commands a setup phase left unreaped.
+func (d *Driver) ResetTimers() { d.inflight = 0 }
+
 // Identify fetches and parses the controller's 4 KiB Identify page.
 func (d *Driver) Identify(ready units.Time) (*nvme.IdentifyController, units.Time, error) {
 	addr, t, err := d.sys.Host.AllocDMA(ready, nvme.IdentifySize)

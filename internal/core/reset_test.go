@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"morpheus/internal/gpu"
+	"morpheus/internal/host"
+	"morpheus/internal/ssd"
+	"morpheus/internal/units"
+)
+
+// TestAttachTrafficDoesNotLeakIntoLinks reproduces the stale-state bug at
+// its first victim: the driver's attach-time Identify DMA crosses the host
+// and SSD PCIe links before the experiment starts, and a reset path that
+// misses the fabric hands the system over with that traffic still on the
+// ledgers — so pcie.ssd_link_util reads high from the very first sample.
+func TestAttachTrafficDoesNotLeakIntoLinks(t *testing.T) {
+	sys := newTestSystem(t, nil)
+	for _, name := range []string{ssd.EndpointName, host.EndpointName, gpu.EndpointName} {
+		if bt := sys.Fabric.Endpoint(name).BusyTime(); bt != 0 {
+			t.Errorf("endpoint %q carries %v of attach-time busy time past ResetTimers", name, bt)
+		}
+	}
+}
+
+// TestSystemReuseDoesNotCorruptUtilization reproduces the reuse half of
+// the bug: run, ResetTimers, run again — every timing observable of the
+// second run must equal the first. Before the fix the PCIe ledgers,
+// GPU state, and replica pipe survived the reset, so the second run's
+// link busy time doubled and its gauges read garbage.
+func TestSystemReuseDoesNotCorruptUtilization(t *testing.T) {
+	sys := newTestSystem(t, func(c *SystemConfig) { c.WithGPU = false })
+	data, _ := testInput(1<<14, 7)
+	f, err := sys.WriteFile("ints", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (units.Duration, units.Duration, units.Time) {
+		sys.ResetTimers()
+		res, err := sys.InvokeStorageApp(0, InvokeOptions{App: intApp(true), File: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Fabric.Endpoint(ssd.EndpointName).BusyTime(),
+			sys.Host.MemBus.BusyTime(), res.Done
+	}
+	link1, bus1, done1 := run()
+	if link1 == 0 || bus1 == 0 {
+		t.Fatal("expected the invocation to produce link and memory-bus traffic")
+	}
+	link2, bus2, done2 := run()
+	if link2 != link1 || bus2 != bus1 || done2 != done1 {
+		t.Fatalf("reused system diverged from its first run:\n  link busy %v vs %v\n  membus busy %v vs %v\n  done %v vs %v",
+			link2, link1, bus2, bus1, done2, done1)
+	}
+}
+
+// TestResetTimersCoversGPUAndDriver checks the remaining units the reset
+// boundary must cover: GPU device timing/kernel stats and the driver's
+// in-flight count.
+func TestResetTimersCoversGPUAndDriver(t *testing.T) {
+	sys := newTestSystem(t, nil)
+	sys.GPU.RunKernel(0, gpu.KernelSpec{
+		Name: "touch", InstrPerElement: 10, BytesPerElement: 4, Elements: 1 << 16, Efficiency: 0.5,
+	})
+	if l, busy := sys.GPU.KernelStats(); l == 0 || busy == 0 {
+		t.Fatal("kernel did not register")
+	}
+	sys.Driver.inflight = 3 // a setup phase that left commands unreaped
+	sys.ResetTimers()
+	if l, busy := sys.GPU.KernelStats(); l != 0 || busy != 0 {
+		t.Fatalf("GPU stats survive ResetTimers: launches=%d busy=%v", l, busy)
+	}
+	if sys.Driver.inflight != 0 {
+		t.Fatalf("driver inflight survives ResetTimers: %d", sys.Driver.inflight)
+	}
+}

@@ -180,11 +180,22 @@ func (s *System) OpenFile(name string) (*File, error) {
 }
 
 // ResetTimers zeroes all timing state and statistics, preserving stored
-// data — the boundary between experiment setup and measurement.
+// data — the boundary between experiment setup and measurement. Every
+// unit with an interval ledger or a traffic counter must be covered here:
+// a missed one carries setup traffic (or a previous run) into the
+// measured run's utilization gauges.
 func (s *System) ResetTimers() {
 	s.Host.Cores.Reset()
 	s.Host.MemBus.Reset()
 	s.SSD.ResetTimers()
+	s.Fabric.ResetTimers()
+	if s.GPU != nil {
+		s.GPU.ResetTimers()
+	}
+	if s.replica != nil {
+		s.replica.Reset()
+	}
+	s.Driver.ResetTimers()
 	s.Metrics.Reset()
 }
 

@@ -43,6 +43,10 @@ type Options struct {
 	// Metrics, when set, aggregates every run's counters, latency
 	// histograms, and gauges across the experiment.
 	Metrics *stats.Registry
+	// Parallel is the worker count for independent sweep points: 0 uses
+	// one worker per CPU, 1 forces the sequential loop. Output (tables,
+	// Metrics, Trace) is byte-identical at every setting; see parallel.go.
+	Parallel int
 }
 
 // observe wires the experiment-wide tracer into a freshly staged system.

@@ -79,22 +79,24 @@ func faultScenarios(seed uint64) []scenarioSpec {
 // after staging. Completed scenarios are verified bit-for-bit against the
 // clean baseline objects.
 func RunFaults(o Options) (*FaultsResult, error) {
-	res := &FaultsResult{Completed: make(map[string]int), Total: make(map[string]int)}
-	scens := faultScenarios(uint64(o.Seed))
-	for _, app := range apps.All() {
-		cleanBase, _, err := runApp(app, apps.ModeBaseline, o)
+	all := apps.All()
+	perApp, err := runPoints(o, len(all), func(i int, po Options) ([]FaultRow, error) {
+		app := all[i]
+		scens := faultScenarios(uint64(po.Seed))
+		cleanBase, _, err := runApp(app, apps.ModeBaseline, po)
 		if err != nil {
 			return nil, fmt.Errorf("faults %s clean baseline: %w", app.Name, err)
 		}
-		cleanMorph, _, err := runApp(app, apps.ModeMorpheus, o)
+		cleanMorph, _, err := runApp(app, apps.ModeMorpheus, po)
 		if err != nil {
 			return nil, fmt.Errorf("faults %s clean morpheus: %w", app.Name, err)
 		}
+		var rows []FaultRow
 		for _, sc := range scens {
-			so := o
+			so := po
 			so.Faults = sc.faults
 			if sc.noMorpheus {
-				outer := o.Mutate
+				outer := po.Mutate
 				so.Mutate = func(cfg *core.SystemConfig) {
 					if outer != nil {
 						outer(cfg)
@@ -103,18 +105,16 @@ func RunFaults(o Options) (*FaultsResult, error) {
 				}
 			}
 			row := FaultRow{App: app.Name, Scenario: sc.name, Mode: sc.mode}
-			res.Total[sc.name]++
 			rep, sys, err := runApp(app, sc.mode, so)
 			if err != nil {
 				row.Err = err.Error()
-				res.Rows = append(res.Rows, row)
+				rows = append(rows, row)
 				continue
 			}
 			if err := apps.VerifyObjects(cleanBase, rep); err != nil {
 				return nil, fmt.Errorf("faults %s %s: object mismatch: %w", app.Name, sc.name, err)
 			}
 			row.Completed = true
-			res.Completed[sc.name]++
 			row.Deser = rep.Deser
 			ref := cleanMorph.Deser
 			if sc.mode == apps.ModeBaseline {
@@ -139,7 +139,21 @@ func RunFaults(o Options) (*FaultsResult, error) {
 			row.Fallbacks = sys.Counters.Get(stats.HostFallbacks)
 			row.Replicas = sys.Counters.Get(stats.ReplicaFallbacks)
 			row.Correctable, row.Uncorrectable = sys.SSD.Flash.FaultStats()
+			rows = append(rows, row)
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &FaultsResult{Completed: make(map[string]int), Total: make(map[string]int)}
+	for _, rows := range perApp {
+		for _, row := range rows {
 			res.Rows = append(res.Rows, row)
+			res.Total[row.Scenario]++
+			if row.Completed {
+				res.Completed[row.Scenario]++
+			}
 		}
 	}
 	return res, nil

@@ -28,16 +28,16 @@ type Fig10Result struct {
 // RunFig10 regenerates Figure 10: context-switch frequencies (and total
 // counts) during object deserialization.
 func RunFig10(o Options) (*Fig10Result, error) {
-	res := &Fig10Result{}
-	var fRed, cRed []float64
-	for _, app := range apps.All() {
-		base, _, err := runApp(app, apps.ModeBaseline, o)
+	all := apps.All()
+	rows, err := runPoints(o, len(all), func(i int, po Options) (Fig10Row, error) {
+		app := all[i]
+		base, _, err := runApp(app, apps.ModeBaseline, po)
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s baseline: %w", app.Name, err)
+			return Fig10Row{}, fmt.Errorf("fig10 %s baseline: %w", app.Name, err)
 		}
-		morph, _, err := runApp(app, apps.ModeMorpheus, o)
+		morph, _, err := runApp(app, apps.ModeMorpheus, po)
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s morpheus: %w", app.Name, err)
+			return Fig10Row{}, fmt.Errorf("fig10 %s morpheus: %w", app.Name, err)
 		}
 		row := Fig10Row{
 			App:         app.Name,
@@ -52,7 +52,14 @@ func RunFig10(o Options) (*Fig10Result, error) {
 		if row.BaseCount > 0 {
 			row.CountReduction = 1 - float64(row.MorphCount)/float64(row.BaseCount)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{Rows: rows}
+	var fRed, cRed []float64
+	for _, row := range rows {
 		fRed = append(fRed, row.FreqReduction)
 		cRed = append(cRed, row.CountReduction)
 	}

@@ -25,37 +25,43 @@ type Fig8Result struct {
 	SpMV float64
 }
 
-// RunFig8 regenerates Figure 8.
+// RunFig8 regenerates Figure 8. Applications are independent sweep
+// points, so they fan out across the worker pool.
 func RunFig8(o Options) (*Fig8Result, error) {
-	res := &Fig8Result{}
-	var speedups []float64
-	for _, app := range apps.All() {
-		base, _, err := runApp(app, apps.ModeBaseline, o)
+	all := apps.All()
+	rows, err := runPoints(o, len(all), func(i int, po Options) (Fig8Row, error) {
+		app := all[i]
+		base, _, err := runApp(app, apps.ModeBaseline, po)
 		if err != nil {
-			return nil, fmt.Errorf("fig8 %s baseline: %w", app.Name, err)
+			return Fig8Row{}, fmt.Errorf("fig8 %s baseline: %w", app.Name, err)
 		}
-		morph, _, err := runApp(app, apps.ModeMorpheus, o)
+		morph, _, err := runApp(app, apps.ModeMorpheus, po)
 		if err != nil {
-			return nil, fmt.Errorf("fig8 %s morpheus: %w", app.Name, err)
+			return Fig8Row{}, fmt.Errorf("fig8 %s morpheus: %w", app.Name, err)
 		}
 		if err := apps.VerifyObjects(base, morph); err != nil {
-			return nil, fmt.Errorf("fig8 %s: object mismatch: %w", app.Name, err)
+			return Fig8Row{}, fmt.Errorf("fig8 %s: object mismatch: %w", app.Name, err)
 		}
-		sp := float64(base.Deser) / float64(morph.Deser)
-		row := Fig8Row{
+		return Fig8Row{
 			App:           app.Name,
 			BaselineDeser: base.Deser,
 			MorpheusDeser: morph.Deser,
-			Speedup:       sp,
+			Speedup:       float64(base.Deser) / float64(morph.Deser),
 			CyclesPerByte: morph.CyclesPerByte,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{Rows: rows}
+	var speedups []float64
+	for _, row := range rows {
+		speedups = append(speedups, row.Speedup)
+		if row.Speedup > res.Max {
+			res.Max = row.Speedup
 		}
-		res.Rows = append(res.Rows, row)
-		speedups = append(speedups, sp)
-		if sp > res.Max {
-			res.Max = sp
-		}
-		if app.Name == "spmv" {
-			res.SpMV = sp
+		if row.App == "spmv" {
+			res.SpMV = row.Speedup
 		}
 	}
 	res.Avg = mean(speedups)

@@ -45,16 +45,16 @@ func deserLoad(rep *apps.Report, freq units.Frequency) power.Load {
 // consumption during object deserialization.
 func RunFig9(o Options) (*Fig9Result, error) {
 	model := power.DefaultModel()
-	res := &Fig9Result{}
-	var pSav, eSav []float64
-	for _, app := range apps.All() {
-		base, sysB, err := runApp(app, apps.ModeBaseline, o)
+	all := apps.All()
+	rows, err := runPoints(o, len(all), func(i int, po Options) (Fig9Row, error) {
+		app := all[i]
+		base, sysB, err := runApp(app, apps.ModeBaseline, po)
 		if err != nil {
-			return nil, fmt.Errorf("fig9 %s baseline: %w", app.Name, err)
+			return Fig9Row{}, fmt.Errorf("fig9 %s baseline: %w", app.Name, err)
 		}
-		morph, sysM, err := runApp(app, apps.ModeMorpheus, o)
+		morph, sysM, err := runApp(app, apps.ModeMorpheus, po)
 		if err != nil {
-			return nil, fmt.Errorf("fig9 %s morpheus: %w", app.Name, err)
+			return Fig9Row{}, fmt.Errorf("fig9 %s morpheus: %w", app.Name, err)
 		}
 		bl := deserLoad(base, sysB.Host.CPU.Freq)
 		ml := deserLoad(morph, sysM.Host.CPU.Freq)
@@ -67,7 +67,14 @@ func RunFig9(o Options) (*Fig9Result, error) {
 		}
 		row.NormPower = float64(row.MorphPower) / float64(row.BasePower)
 		row.NormEnergy = float64(row.MorphEnergy) / float64(row.BaseEnergy)
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{Rows: rows}
+	var pSav, eSav []float64
+	for _, row := range rows {
 		pSav = append(pSav, 1-row.NormPower)
 		eSav = append(eSav, 1-row.NormEnergy)
 		if 1-row.NormPower > res.MaxPowerSaving {

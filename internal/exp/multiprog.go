@@ -42,28 +42,34 @@ func RunMultiprog(o Options, load float64) (*MultiprogResult, error) {
 		load = 0.5
 	}
 	res := &MultiprogResult{Load: load}
-	var baseS, morphS []float64
-	total := stats.NewSet()
 	// A subset representative of both parallel models keeps the sweep
 	// affordable: a 4-thread MPI app, a CUDA app, and the float outlier.
-	for _, name := range []string{"pagerank", "bfs", "nn", "spmv"} {
+	names := []string{"pagerank", "bfs", "nn", "spmv"}
+	type point struct {
+		row MultiprogRow
+		// counters carries the point's tenant counter merge back to the
+		// in-order fold, where the cross-tenant total accumulates.
+		counters *stats.Set
+	}
+	points, err := runPoints(o, len(names), func(i int, po Options) (point, error) {
+		name := names[i]
 		app, err := apps.ByName(name)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		row := MultiprogRow{App: name}
+		pt := point{row: MultiprogRow{App: name}, counters: stats.NewSet()}
 		for _, contended := range []bool{false, true} {
 			for _, mode := range []apps.Mode{apps.ModeBaseline, apps.ModeMorpheus} {
-				sys, err := buildSystem(o, app.UsesGPU)
+				sys, err := buildSystem(po, app.UsesGPU)
 				if err != nil {
-					return nil, err
+					return point{}, err
 				}
-				files, _, err := apps.Stage(sys, app, o.scale(), o.Seed)
+				files, _, err := apps.Stage(sys, app, po.scale(), po.Seed)
 				if err != nil {
-					return nil, err
+					return point{}, err
 				}
 				sys.ResetTimers()
-				o.observe(sys)
+				po.observe(sys)
 				if contended {
 					// Generous horizon: several times the isolated time.
 					cr := host.DefaultCoRunner(sys.Host, load)
@@ -71,27 +77,36 @@ func RunMultiprog(o Options, load float64) (*MultiprogResult, error) {
 				}
 				rep, err := apps.Run(sys, app, files, mode)
 				if err != nil {
-					return nil, fmt.Errorf("multiprog %s %v: %w", name, mode, err)
+					return point{}, fmt.Errorf("multiprog %s %v: %w", name, mode, err)
 				}
-				total.Merge(sys.Counters)
-				o.collect(sys)
+				pt.counters.Merge(sys.Counters)
+				po.collect(sys)
 				switch {
 				case mode == apps.ModeBaseline && !contended:
-					row.BaseIsolated = rep.Deser
+					pt.row.BaseIsolated = rep.Deser
 				case mode == apps.ModeBaseline && contended:
-					row.BaseContended = rep.Deser
+					pt.row.BaseContended = rep.Deser
 				case mode == apps.ModeMorpheus && !contended:
-					row.MorphIsolated = rep.Deser
+					pt.row.MorphIsolated = rep.Deser
 				default:
-					row.MorphContended = rep.Deser
+					pt.row.MorphContended = rep.Deser
 				}
 			}
 		}
-		row.BaseSlowdown = float64(row.BaseContended) / float64(row.BaseIsolated)
-		row.MorphSlowdown = float64(row.MorphContended) / float64(row.MorphIsolated)
-		res.Rows = append(res.Rows, row)
-		baseS = append(baseS, row.BaseSlowdown)
-		morphS = append(morphS, row.MorphSlowdown)
+		pt.row.BaseSlowdown = float64(pt.row.BaseContended) / float64(pt.row.BaseIsolated)
+		pt.row.MorphSlowdown = float64(pt.row.MorphContended) / float64(pt.row.MorphIsolated)
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var baseS, morphS []float64
+	total := stats.NewSet()
+	for _, pt := range points {
+		total.Merge(pt.counters)
+		res.Rows = append(res.Rows, pt.row)
+		baseS = append(baseS, pt.row.BaseSlowdown)
+		morphS = append(morphS, pt.row.MorphSlowdown)
 	}
 	res.AvgBaseSlowdown = mean(baseS)
 	res.AvgMorphSlowdown = mean(morphS)

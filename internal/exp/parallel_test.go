@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"morpheus/internal/stats"
+	"morpheus/internal/trace"
+)
+
+// tabler is the slice of each experiment the determinism suite needs.
+type tabler interface{ Table() *Table }
+
+// parallelCases are the experiments the byte-identity guarantee is
+// checked against: the headline figure, the power figure (whose rows
+// depend on per-run system state), and the fault campaign (whose rows
+// depend on hash-derived fault injection and per-scenario mutation).
+var parallelCases = []struct {
+	name  string
+	heavy bool
+	run   func(Options) (tabler, error)
+}{
+	{"fig8", false, func(o Options) (tabler, error) { return RunFig8(o) }},
+	{"fig9", false, func(o Options) (tabler, error) { return RunFig9(o) }},
+	{"faults", true, func(o Options) (tabler, error) { return RunFaults(o) }},
+}
+
+// observedRun executes one experiment with a tracer and registry wired in
+// and returns the rendered table, the metrics JSON, and the trace events.
+func observedRun(t *testing.T, run func(Options) (tabler, error), o Options) (string, []byte, []trace.Event) {
+	t.Helper()
+	o.Trace = trace.New(0)
+	o.Metrics = stats.NewRegistry()
+	r, err := run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := o.Metrics.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	return r.Table().String(), js.Bytes(), o.Trace.Events()
+}
+
+// TestParallelMatchesSequential is the contract the -parallel flag
+// advertises: for every experiment and seed, a run fanned across 8
+// workers renders the same table, emits the same metrics JSON byte for
+// byte, and collects the same trace events (span IDs included) as the
+// sequential run.
+func TestParallelMatchesSequential(t *testing.T) {
+	seeds := []int64{20160618, 7, 424242}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, tc := range parallelCases {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed=%d", tc.name, seed), func(t *testing.T) {
+				if tc.heavy && testing.Short() {
+					t.Skip("fault campaign is the suite's heaviest experiment")
+				}
+				o := testOptions()
+				// Byte-identity is scale-independent; the smallest inputs
+				// keep the 3-experiment × 3-seed × 2-run matrix affordable
+				// under -race.
+				o.Scale = 1.0 / 8192
+				o.Seed = seed
+
+				o.Parallel = 1
+				seqTable, seqJSON, seqEvents := observedRun(t, tc.run, o)
+				o.Parallel = 8
+				parTable, parJSON, parEvents := observedRun(t, tc.run, o)
+
+				if seqTable != parTable {
+					t.Errorf("table diverged:\nsequential:\n%s\nparallel:\n%s", seqTable, parTable)
+				}
+				if !bytes.Equal(seqJSON, parJSON) {
+					t.Errorf("metrics JSON diverged:\nsequential:\n%s\nparallel:\n%s", seqJSON, parJSON)
+				}
+				if !reflect.DeepEqual(seqEvents, parEvents) {
+					t.Errorf("trace diverged: %d sequential events vs %d parallel",
+						len(seqEvents), len(parEvents))
+				}
+			})
+		}
+	}
+}
+
+// TestRunPointsOrderAndFold: results come back in point order regardless
+// of completion order, and the per-point sinks fold in point order.
+func TestRunPointsOrderAndFold(t *testing.T) {
+	o := testOptions()
+	o.Parallel = 4
+	o.Metrics = stats.NewRegistry()
+	o.Trace = trace.New(0)
+	var mu sync.Mutex
+	var foldOrder []int64
+	// The gauge's `last` is the most recent fold's value, so sampling the
+	// point index and reading it back after every merge exposes the order.
+	vals, err := runPoints(o, 16, func(i int, po Options) (int, error) {
+		po.Metrics.Counters().Add("points", 1)
+		po.Metrics.Gauge("order").Sample(int64(i), float64(i))
+		po.Trace.RecordSpan("t", "p", "", po.Trace.NextSpan(), 0, 0, 1)
+		mu.Lock()
+		foldOrder = append(foldOrder, int64(i))
+		mu.Unlock()
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != i*i {
+			t.Fatalf("vals[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if got := o.Metrics.Counters().Get("points"); got != 16 {
+		t.Fatalf("folded %d points, want 16", got)
+	}
+	if last := o.Metrics.Gauge("order").Last(); last != 15 {
+		t.Fatalf("gauge last = %v: points folded out of order", last)
+	}
+	// Adopted spans are renumbered to the sequential 1..16.
+	evs := o.Trace.Events()
+	if len(evs) != 16 {
+		t.Fatalf("adopted %d events, want 16", len(evs))
+	}
+	seen := map[trace.SpanID]bool{}
+	for _, e := range evs {
+		if e.Span < 1 || e.Span > 16 || seen[e.Span] {
+			t.Fatalf("span IDs not the sequential 1..16: %+v", evs)
+		}
+		seen[e.Span] = true
+	}
+}
+
+// TestRunPointsLowestError: when several points fail, the error reported
+// is the one the sequential loop would have hit first.
+func TestRunPointsLowestError(t *testing.T) {
+	o := testOptions()
+	o.Parallel = 8
+	boom := func(i int) error { return fmt.Errorf("point %d failed", i) }
+	_, err := runPoints(o, 12, func(i int, po Options) (int, error) {
+		if i >= 3 {
+			return 0, boom(i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "point 3 failed" {
+		t.Fatalf("err = %v, want the lowest-index failure (point 3)", err)
+	}
+}
+
+// TestRunPointsSequentialIsolation: the one-worker path derives the same
+// isolated per-point sinks the pool does (identical float grouping is
+// what makes worker counts byte-equivalent) and folds them back; with no
+// sinks configured, the caller's Options pass through untouched.
+func TestRunPointsSequentialIsolation(t *testing.T) {
+	o := testOptions()
+	o.Parallel = 1
+	o.Metrics = stats.NewRegistry()
+	shared := o.Metrics
+	var sawShared int32
+	_, err := runPoints(o, 3, func(i int, po Options) (int, error) {
+		if po.Metrics == shared {
+			atomic.AddInt32(&sawShared, 1)
+		}
+		po.Metrics.Counters().Add("n", 1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawShared != 0 {
+		t.Fatalf("sequential path leaked the shared registry into %d/3 points", sawShared)
+	}
+	if got := shared.Counters().Get("n"); got != 3 {
+		t.Fatalf("sequential fold lost points: n=%d, want 3", got)
+	}
+
+	bare := testOptions()
+	bare.Parallel = 1
+	_, err = runPoints(bare, 2, func(i int, po Options) (int, error) {
+		if po.Metrics != nil || po.Trace != nil {
+			t.Errorf("point %d grew sinks the caller never configured", i)
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunPointsEmpty: a zero-point sweep is a no-op, not a hang.
+func TestRunPointsEmpty(t *testing.T) {
+	vals, err := runPoints(testOptions(), 0, func(i int, po Options) (int, error) {
+		return 0, errors.New("must not run")
+	})
+	if err != nil || len(vals) != 0 {
+		t.Fatalf("empty sweep: vals=%v err=%v", vals, err)
+	}
+}

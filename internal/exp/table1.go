@@ -27,21 +27,25 @@ type Table1Result struct {
 // RunTable1 regenerates Table I, also verifying that each generator
 // produces (approximately) the requested scaled size.
 func RunTable1(o Options) (*Table1Result, error) {
-	res := &Table1Result{Scale: o.scale()}
-	for _, app := range apps.All() {
-		target := units.Bytes(float64(app.PaperInputSize) * o.scale())
-		shards := app.Gen(target, app.Threads, o.Seed)
+	all := apps.All()
+	rows, err := runPoints(o, len(all), func(i int, po Options) (Table1Row, error) {
+		app := all[i]
+		target := units.Bytes(float64(app.PaperInputSize) * po.scale())
+		shards := app.Gen(target, app.Threads, po.Seed)
 		got := shards.TotalSize()
 		if got == 0 {
-			return nil, fmt.Errorf("table1: %s generated an empty input", app.Name)
+			return Table1Row{}, fmt.Errorf("table1: %s generated an empty input", app.Name)
 		}
-		res.Rows = append(res.Rows, Table1Row{
+		return Table1Row{
 			App: app.Name, Suite: app.Suite, Parallel: app.Parallel,
 			PaperInput: app.PaperInputSize, ScaledInput: got,
 			Threads: app.Threads, UsesGPU: app.UsesGPU,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table1Result{Rows: rows, Scale: o.scale()}, nil
 }
 
 // Table renders Table I.

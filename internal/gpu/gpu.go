@@ -218,3 +218,13 @@ func (g *GPU) RunKernel(ready units.Time, spec KernelSpec) units.Time {
 func (g *GPU) KernelStats() (launches int64, busy units.Duration) {
 	return g.kernelsLaunched, g.kernelTime
 }
+
+// ResetTimers clears device timing state and kernel statistics while
+// preserving allocations and the BAR mapping — the GPU's part of the
+// setup/measurement boundary.
+func (g *GPU) ResetTimers() {
+	g.devMem.Reset()
+	g.sms.Reset()
+	g.kernelsLaunched = 0
+	g.kernelTime = 0
+}

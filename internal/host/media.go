@@ -50,6 +50,13 @@ func (d *HDD) ReadChunk(ready units.Time, n units.Bytes) units.Time {
 	return t2
 }
 
+// Reset clears the drive's occupancy and rearms the initial positioning
+// delay for a fresh run.
+func (d *HDD) Reset() {
+	d.dev.Reset()
+	d.seekDone = false
+}
+
 // RAMDrive models the paper's 16 GB DRAM-backed drive: reads are memory
 // copies, so a chunk crosses the memory bus twice (read source + write
 // destination) and is limited by the DDR3 channel, not a device link.
@@ -94,3 +101,6 @@ func (d *PipeMedium) ReadChunk(ready units.Time, n units.Bytes) units.Time {
 	d.host.Counters.AddBytes("membus.bytes", n)
 	return t2
 }
+
+// Reset clears the medium's occupancy and statistics for a fresh run.
+func (d *PipeMedium) Reset() { d.dev.Reset() }

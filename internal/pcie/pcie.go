@@ -100,6 +100,13 @@ func (e *Endpoint) DownstreamBytes() units.Bytes { return e.down.Moved() }
 // reports: divide by 2× the horizon for a full-duplex link).
 func (e *Endpoint) BusyTime() units.Duration { return e.up.BusyTime() + e.down.BusyTime() }
 
+// ResetTimers clears both directions' occupancy and traffic statistics —
+// the endpoint's part of the setup/measurement boundary.
+func (e *Endpoint) ResetTimers() {
+	e.up.Reset()
+	e.down.Reset()
+}
+
 // Fabric is the switch plus the attached endpoints and the address map.
 type Fabric struct {
 	endpoints map[string]*Endpoint
@@ -144,6 +151,16 @@ func (f *Fabric) Attach(name string, bw units.Bandwidth, latency units.Duration)
 	}
 	f.endpoints[name] = e
 	return e
+}
+
+// ResetTimers clears link occupancy and traffic statistics on every
+// attached endpoint, preserving the address map. Without it, attach-time
+// traffic (the driver's Identify DMA) and earlier runs leak into the
+// link-utilization gauges of the measured run.
+func (f *Fabric) ResetTimers() {
+	for _, e := range f.endpoints {
+		e.ResetTimers()
+	}
 }
 
 // Endpoint returns a previously attached endpoint.

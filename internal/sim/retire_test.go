@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"morpheus/internal/units"
+)
+
+// sparseAcquires runs n non-touching (hence never-coalescing) monotone
+// acquires: the pattern a co-runner's periodic timeslices produce, and the
+// worst case for ledger growth.
+func sparseAcquires(r *Resource, n int, retireEvery int) {
+	const period = 10
+	for i := 0; i < n; i++ {
+		ready := units.Time(i * period)
+		r.Acquire(ready, 3) // occupies [ready, ready+3): gap of 7 to the next
+		if retireEvery > 0 && i%retireEvery == retireEvery-1 {
+			r.Retire(ready)
+		}
+	}
+}
+
+func TestRetireBoundsLedger(t *testing.T) {
+	unretired := NewResource("u")
+	sparseAcquires(unretired, 10000, 0)
+	if got := unretired.LedgerLen(); got != 10000 {
+		t.Fatalf("unretired ledger = %d intervals, want 10000 (sparse acquires must not coalesce)", got)
+	}
+	retired := NewResource("r")
+	sparseAcquires(retired, 10000, 64)
+	// Lazy compaction keeps up to ~half the ledger as dead prefix plus the
+	// live tail between retirements; anything in the low hundreds proves
+	// the bound, 10000 would prove its absence.
+	if got := retired.LedgerLen(); got > 512 {
+		t.Fatalf("retired ledger = %d intervals, want bounded (<= 512)", got)
+	}
+	if retired.BusyTime() != unretired.BusyTime() {
+		t.Fatalf("busy time diverged: %v vs %v", retired.BusyTime(), unretired.BusyTime())
+	}
+	if retired.Waited() != unretired.Waited() {
+		t.Fatalf("waited diverged: %v vs %v", retired.Waited(), unretired.Waited())
+	}
+	if retired.BusyUntil() != unretired.BusyUntil() {
+		t.Fatalf("BusyUntil diverged: %v vs %v", retired.BusyUntil(), unretired.BusyUntil())
+	}
+}
+
+// TestRetirePlacementEquivalence is the core correctness property: for any
+// request sequence with non-decreasing ready times, interleaving Retire
+// calls at already-passed ready times changes no placement decision.
+func TestRetirePlacementEquivalence(t *testing.T) {
+	f := func(reqs []struct {
+		Gap    uint8 // advance of ready time between requests
+		Dur    uint8
+		Retire bool // retire up to the previous ready time before this request
+	}) bool {
+		plain := NewResource("plain")
+		pruned := NewResource("pruned")
+		var ready, prevReady units.Time
+		for _, q := range reqs {
+			ready = ready.Add(units.Duration(q.Gap))
+			if q.Retire {
+				pruned.Retire(prevReady)
+			}
+			s1, e1 := plain.Acquire(ready, units.Duration(q.Dur))
+			s2, e2 := pruned.Acquire(ready, units.Duration(q.Dur))
+			if s1 != s2 || e1 != e2 {
+				return false
+			}
+			prevReady = ready
+		}
+		return plain.BusyTime() == pruned.BusyTime() &&
+			plain.Waited() == pruned.Waited() &&
+			plain.BusyUntil() == pruned.BusyUntil()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRetireViolationPanics(t *testing.T) {
+	r := NewResource("r")
+	r.Acquire(0, 10)
+	r.Retire(100)
+	if r.Watermark() != 100 {
+		t.Fatalf("watermark = %v", r.Watermark())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Acquire before the watermark must panic")
+		}
+	}()
+	r.Acquire(50, 10)
+}
+
+func TestRetireIsMonotone(t *testing.T) {
+	r := NewResource("r")
+	r.Acquire(0, 10)
+	r.Retire(50)
+	r.Retire(20) // moving the watermark backwards is a no-op
+	if r.Watermark() != 50 {
+		t.Fatalf("watermark = %v, want 50", r.Watermark())
+	}
+}
+
+func TestResetClearsWatermark(t *testing.T) {
+	r := NewResource("r")
+	r.Acquire(0, 10)
+	r.Retire(100)
+	r.Reset()
+	if r.Watermark() != 0 || r.LedgerLen() != 0 || r.BusyUntil() != 0 {
+		t.Fatal("Reset must clear the watermark, ledger, and BusyUntil")
+	}
+	// A fresh run may acquire at time zero again.
+	if s, _ := r.Acquire(0, 5); s != 0 {
+		t.Fatalf("post-reset acquire started at %v", s)
+	}
+}
+
+func TestPoolAndPipeRetire(t *testing.T) {
+	p := NewPool("c", 2)
+	p.Acquire(0, 10)
+	p.Acquire(0, 10)
+	p.Retire(10)
+	for i := 0; i < 2; i++ {
+		if p.Member(i).Watermark() != 10 {
+			t.Fatalf("member %d watermark = %v", i, p.Member(i).Watermark())
+		}
+	}
+	pipe := NewPipe("link", 0, units.Bandwidth(1000))
+	pipe.Transfer(0, 100)
+	pipe.Retire(units.Time(200 * units.Millisecond))
+	// The pruned ledger must not affect a later transfer.
+	s, _ := pipe.Transfer(units.Time(200*units.Millisecond), 100)
+	if s != units.Time(200*units.Millisecond) {
+		t.Fatalf("post-retire transfer started at %v", s)
+	}
+}
+
+// BenchmarkSparseAcquire is the satellite's regression benchmark: without
+// retirement the sparse pattern is quadratic in the number of acquires
+// (every insert appends after an ever-growing ledger scan); with periodic
+// retirement total cost stays near-linear.
+func BenchmarkSparseAcquire(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		for _, mode := range []struct {
+			name        string
+			retireEvery int
+		}{{"unretired", 0}, {"retired", 64}} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					r := NewResource("bench")
+					sparseAcquires(r, n, mode.retireEvery)
+				}
+			})
+		}
+	}
+}

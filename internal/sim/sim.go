@@ -62,6 +62,13 @@ type Resource struct {
 	busyTime  units.Duration // total occupied time, for utilization reports
 	acquires  int64
 	waited    units.Duration // total queueing delay experienced by users
+	// watermark is the completed-work floor set by Retire: no future
+	// Acquire/EarliestStart may use a ready time before it, so intervals
+	// ending at or before it can be pruned from the ledger.
+	watermark units.Time
+	// lastEnd caches the end of the last recorded occupancy, so BusyUntil
+	// survives pruning.
+	lastEnd units.Time
 }
 
 type interval struct{ start, end units.Time }
@@ -94,6 +101,9 @@ func (r *Resource) Acquire(ready units.Time, d units.Duration) (start, end units
 // EarliestStart reports when a use of duration d ready at the given time
 // could start, without reserving it.
 func (r *Resource) EarliestStart(ready units.Time, d units.Duration) units.Time {
+	if ready < r.watermark {
+		panic(fmt.Sprintf("sim: %s: ready time %v precedes the Retire watermark %v", r.name, ready, r.watermark))
+	}
 	// Find the first interval that ends after ready.
 	i := sort.Search(len(r.intervals), func(i int) bool { return r.intervals[i].end > ready })
 	start := ready
@@ -111,6 +121,9 @@ func (r *Resource) EarliestStart(ready units.Time, d units.Duration) units.Time 
 
 // insert adds iv to the ledger, coalescing with neighbours that touch it.
 func (r *Resource) insert(iv interval) {
+	if iv.end > r.lastEnd {
+		r.lastEnd = iv.end
+	}
 	i := sort.Search(len(r.intervals), func(i int) bool { return r.intervals[i].start >= iv.start })
 	// Coalesce with predecessor.
 	if i > 0 && r.intervals[i-1].end == iv.start {
@@ -132,12 +145,43 @@ func (r *Resource) insert(iv interval) {
 }
 
 // BusyUntil reports the end of the last recorded occupancy.
-func (r *Resource) BusyUntil() units.Time {
-	if len(r.intervals) == 0 {
-		return 0
+func (r *Resource) BusyUntil() units.Time { return r.lastEnd }
+
+// Retire declares that all work ready before t has already been issued:
+// the caller promises that no future Acquire or EarliestStart will use a
+// ready time earlier than t (violations panic). Intervals ending at or
+// before t can no longer influence any future placement, so they are
+// pruned from the ledger. Without retirement a sparse acquire pattern — a
+// co-runner's periodic slices, a long pipelined train — accumulates an
+// unbounded ledger and every later backfilling insert pays O(n); callers
+// with a completed-work floor (a phase boundary, a batch flush) retire it
+// to keep the ledger short. Statistics (BusyTime, Waited, Acquires,
+// BusyUntil) are unaffected, and placement of any legal future request is
+// byte-identical to the unpruned ledger.
+func (r *Resource) Retire(t units.Time) {
+	if t <= r.watermark {
+		return
 	}
-	return r.intervals[len(r.intervals)-1].end
+	r.watermark = t
+	// Every interval that ends at or before the watermark is dead: a
+	// future request has ready >= t, so EarliestStart can never scan or
+	// place into it. Compact lazily — dropping the prefix is O(live), so
+	// only pay it once the dead prefix dominates (amortized O(1) per
+	// retired interval); dead intervals are harmless in the meantime
+	// because every search starts at or past the watermark.
+	i := sort.Search(len(r.intervals), func(i int) bool { return r.intervals[i].end > t })
+	if i > 0 && (i == len(r.intervals) || i >= len(r.intervals)/2) {
+		r.intervals = append(r.intervals[:0], r.intervals[i:]...)
+	}
 }
+
+// Watermark reports the current completed-work floor (zero if never
+// retired).
+func (r *Resource) Watermark() units.Time { return r.watermark }
+
+// LedgerLen reports the number of live intervals in the ledger, for
+// growth regression tests.
+func (r *Resource) LedgerLen() int { return len(r.intervals) }
 
 // BusyTime reports the total occupied time since creation or Reset.
 func (r *Resource) BusyTime() units.Duration { return r.busyTime }
@@ -160,12 +204,15 @@ func (r *Resource) Utilization(horizon units.Duration) float64 {
 	return u
 }
 
-// Reset returns the resource to idle at time zero, clearing statistics.
+// Reset returns the resource to idle at time zero, clearing statistics
+// and the Retire watermark.
 func (r *Resource) Reset() {
 	r.intervals = r.intervals[:0]
 	r.busyTime = 0
 	r.acquires = 0
 	r.waited = 0
+	r.watermark = 0
+	r.lastEnd = 0
 }
 
 // Pool is a set of n interchangeable resources (e.g. the CPU cores of a
@@ -229,6 +276,14 @@ func (p *Pool) Reset() {
 	}
 }
 
+// Retire sets the completed-work watermark on every member (see
+// Resource.Retire).
+func (p *Pool) Retire(t units.Time) {
+	for _, m := range p.members {
+		m.Retire(t)
+	}
+}
+
 // Pipe is a bandwidth-limited, serially-occupied transfer medium: a PCIe
 // link direction, the CPU-memory bus, a flash channel. A transfer of n
 // bytes ready at t occupies the pipe for latency + n/bandwidth.
@@ -276,3 +331,7 @@ func (p *Pipe) Reset() {
 	p.moved = 0
 	p.transfers = 0
 }
+
+// Retire sets the completed-work watermark on the underlying resource
+// (see Resource.Retire).
+func (p *Pipe) Retire(t units.Time) { p.res.Retire(t) }

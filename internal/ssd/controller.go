@@ -592,6 +592,7 @@ func (c *Controller) ResetTimers() {
 	for _, core := range c.cores {
 		core.Reset()
 	}
+	c.frontend.Reset()
 	c.dram.Reset()
 	c.Flash.ResetTimers()
 }

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// makeRegistry builds a registry with every metric kind populated.
+func makeRegistry(n int64) *Registry {
+	r := NewRegistry()
+	r.Counters().Add("c.a", n)
+	r.Counters().Add("c.b", 2*n)
+	r.Histogram("h").Record(n)
+	r.Gauge("g").Sample(n, float64(n))
+	return r
+}
+
+// TestConcurrentMergeIntoOneRegistry is the parallel runner's hazard: many
+// goroutines folding per-point registries into one aggregate. Run under
+// -race; before the lock-ordering fix the unsynchronized counter-map
+// writes raced (and could corrupt the map outright).
+func TestConcurrentMergeIntoOneRegistry(t *testing.T) {
+	agg := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				agg.Merge(makeRegistry(int64(w*100 + i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := agg.Histogram("h").Count(); got != workers*50 {
+		t.Fatalf("merged histogram count = %d, want %d", got, workers*50)
+	}
+	if agg.Counters().Get("c.b") != 2*agg.Counters().Get("c.a") {
+		t.Fatalf("counter invariant broken: a=%d b=%d",
+			agg.Counters().Get("c.a"), agg.Counters().Get("c.b"))
+	}
+}
+
+// TestCrossMergeDoesNotDeadlock: a.Merge(b) while b.Merge(a) must finish
+// (the copy-then-apply pattern never holds both registries' locks).
+func TestCrossMergeDoesNotDeadlock(t *testing.T) {
+	a, b := makeRegistry(1), makeRegistry(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(2)
+		go func() { defer wg.Done(); a.Merge(b) }()
+		go func() { defer wg.Done(); b.Merge(a) }()
+	}
+	wg.Wait() // the test is that this returns
+}
+
+// TestMergeSelfIsNoop: folding a registry into itself must not double its
+// contents or deadlock.
+func TestMergeSelfIsNoop(t *testing.T) {
+	r := makeRegistry(5)
+	r.Merge(r)
+	if r.Counters().Get("c.a") != 5 {
+		t.Fatalf("self-merge doubled counters: %d", r.Counters().Get("c.a"))
+	}
+	if r.Histogram("h").Count() != 1 {
+		t.Fatalf("self-merge doubled histogram: %d", r.Histogram("h").Count())
+	}
+}
+
+// TestMergeFoldOrderMatchesSequential: the experiment harness — parallel
+// or not — gives every run its own registry and folds them into the
+// experiment aggregate; the sequential runner folds them in point order
+// as each run finishes. Re-deriving identical per-point registries and
+// folding them in the same order must therefore reproduce the aggregate
+// JSON byte for byte — the identity the parallel runner's output depends
+// on. (It would NOT hold against one gauge sampled continuously across
+// points: the inter-point hold weight differs. The harness never does
+// that; this test documents the actual contract.)
+func TestMergeFoldOrderMatchesSequential(t *testing.T) {
+	point := func(i int64) *Registry {
+		p := NewRegistry()
+		p.Counters().Add("c", i)
+		p.Histogram("h").Record(i * 10)
+		// Several samples per point, so the gauge's time-weighted
+		// integral is exercised through the merge.
+		p.Gauge("g").Sample(i*100, float64(i))
+		p.Gauge("g").Sample(i*100+50, float64(i+1))
+		return p
+	}
+	sequential := NewRegistry()
+	for i := int64(1); i <= 3; i++ {
+		sequential.Merge(point(i))
+	}
+	parallel := NewRegistry()
+	for i := int64(1); i <= 3; i++ {
+		parallel.Merge(point(i)) // same points, same fold order
+	}
+	var a, b bytes.Buffer
+	if err := sequential.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("folded JSON diverges from sequential:\n%s\nvs\n%s", b.String(), a.String())
+	}
+	if m := sequential.Gauge("g").Mean(); m == 0 {
+		t.Fatal("gauge integral lost in merge")
+	}
+}

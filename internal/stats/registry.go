@@ -83,12 +83,27 @@ func (r *Registry) gaugeNames() []string {
 
 // Merge folds every metric of o into r: counters add, histograms merge
 // bucket-wise, gauges merge as summaries. Used by experiments that run
-// several systems (tenants, modes) and want one aggregate emission.
+// several systems (tenants, modes, parallel sweep points) and want one
+// aggregate emission. The source's counters are snapshotted under the
+// source lock and applied under the receiver lock — the two locks are
+// never held together, so concurrent merges (even a.Merge(b) alongside
+// b.Merge(a)) cannot deadlock, and two merges into the same receiver
+// cannot race on its counter map.
 func (r *Registry) Merge(o *Registry) {
-	if o == nil {
+	if o == nil || o == r {
 		return
 	}
-	r.counters.Merge(o.counters)
+	o.mu.Lock()
+	snap := o.counters.Snapshot()
+	o.mu.Unlock()
+	r.mu.Lock()
+	for n, v := range snap.counters {
+		r.counters.Add(n, v)
+	}
+	r.mu.Unlock()
+	// Histograms and gauges synchronize themselves with the same
+	// copy-then-apply pattern; the name listings lock one registry at a
+	// time.
 	for _, n := range o.histNames() {
 		r.Histogram(n).Merge(o.Histogram(n))
 	}

@@ -37,7 +37,9 @@ const (
 )
 
 // Set is a bag of named int64 counters. The zero value is not usable; call
-// NewSet.
+// NewSet. A Set is NOT safe for concurrent use: each simulated system
+// writes its own set single-threaded, and cross-set aggregation goes
+// through Registry.Merge, which synchronizes at the registry level.
 type Set struct {
 	counters map[string]int64
 }

@@ -101,6 +101,45 @@ func (t *Tracer) RecordSpan(track, name, detail string, span, parent SpanID, sta
 		Span: span, Parent: parent, Start: start, End: end})
 }
 
+// Adopt folds another tracer's events into t, renumbering their span IDs
+// past t's so the two ID spaces never collide: o's span k becomes
+// t.nextSpan + k, exactly the ID a shared tracer would have issued had
+// o's events been recorded on t directly after t's. The parallel
+// experiment runner gives each sweep point an isolated tracer and adopts
+// them back in point order, which reproduces the sequential run's trace
+// byte for byte. t's Cap applies at adoption (adopted events past it are
+// dropped and counted), so per-point tracers should be unbounded. o is
+// left unchanged. Safe on a nil receiver or source.
+func (t *Tracer) Adopt(o *Tracer) {
+	if t == nil || o == nil || t == o {
+		return
+	}
+	o.mu.Lock()
+	events := make([]Event, len(o.events))
+	copy(events, o.events)
+	spans := o.nextSpan
+	dropped := o.dropped
+	o.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	offset := SpanID(t.nextSpan)
+	t.nextSpan += spans
+	t.dropped += dropped
+	for _, e := range events {
+		if t.Cap > 0 && len(t.events) >= t.Cap {
+			t.dropped++
+			continue
+		}
+		if e.Span != 0 {
+			e.Span += offset
+		}
+		if e.Parent != 0 {
+			e.Parent += offset
+		}
+		t.events = append(t.events, e)
+	}
+}
+
 // Len reports the number of recorded events.
 func (t *Tracer) Len() int {
 	if t == nil {
