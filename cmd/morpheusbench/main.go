@@ -11,7 +11,13 @@
 //	morpheusbench -list                   # show the experiment index
 //
 // Experiments: table1, fig2, fig3, profile, fig8, fig9, fig10, traffic,
-// endtoend, slowhost, multiprog, serialize, faults, ablation, all.
+// endtoend, slowhost, multiprog, serialize, faults, cachesweep, ablation,
+// all.
+//
+// -ssd-cache enables the SSD-DRAM deserialized-object cache (an extension
+// beyond the paper) in every experiment; -ssd-cache-mb sizes it. The
+// cachesweep experiment manages the cache itself and ignores both flags'
+// cache fields where it must.
 //
 // -trace-out writes a Chrome trace-event JSON (load it at
 // https://ui.perfetto.dev or chrome://tracing); -metrics-out writes the
@@ -31,9 +37,11 @@ import (
 	"os"
 	"strings"
 
+	"morpheus/internal/core"
 	"morpheus/internal/exp"
 	"morpheus/internal/stats"
 	"morpheus/internal/trace"
+	"morpheus/internal/units"
 )
 
 // traceCap bounds the shared tracer's memory on long runs; overflow is
@@ -183,6 +191,13 @@ func experiments() []experiment {
 			}
 			return r.Table(), nil
 		})},
+		{"cachesweep", "SSD object-cache sweep (E15, extension)", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunCachesweep(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
 		{"ablation", "design-choice ablations (DESIGN.md §4)", func(o exp.Options) ([]*exp.Table, error) {
 			r, err := exp.RunAblation(o)
 			if err != nil {
@@ -203,6 +218,8 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of every run to this file")
 		metricsOut = flag.String("metrics-out", "", "write aggregated metrics to this file (.json for JSON, else Prometheus text)")
 		parallel   = flag.Int("parallel", 0, "workers for independent sweep points (0 = NumCPU, 1 = sequential); output is byte-identical at any setting")
+		ssdCache   = flag.Bool("ssd-cache", false, "enable the SSD-DRAM deserialized-object cache in every experiment (extension beyond the paper)")
+		ssdCacheMB = flag.Int("ssd-cache-mb", 0, "object-cache capacity in MiB (implies -ssd-cache; 0 = the 64MiB default)")
 	)
 	flag.Parse()
 	exps := experiments()
@@ -216,6 +233,15 @@ func main() {
 	opts.Scale = *scale
 	opts.Seed = *seed
 	opts.Parallel = *parallel
+	if *ssdCache || *ssdCacheMB > 0 {
+		mb := *ssdCacheMB
+		opts.Mutate = func(cfg *core.SystemConfig) {
+			cfg.SSD.ObjectCache = true
+			if mb > 0 {
+				cfg.SSD.ObjectCacheSize = units.Bytes(mb) * units.MiB
+			}
+		}
+	}
 	if *traceOut != "" {
 		opts.Trace = trace.New(traceCap)
 	}

@@ -242,6 +242,11 @@ func (s *System) sampleGauges(now units.Time) {
 	// Full-duplex link: busy time is summed over both directions.
 	m.Gauge("pcie.ssd_link_util").Sample(t, float64(s.Fabric.Endpoint(ssd.EndpointName).BusyTime())/(2*float64(now)))
 	m.Gauge("host.cpu_util").Sample(t, float64(s.Host.Cores.BusyTime())/(float64(s.Cfg.CPU.Cores)*float64(now)))
+	if s.SSD.CacheEnabled() {
+		// Only when the object cache is on, so default runs keep their
+		// exact metrics schema.
+		m.Gauge("ssd.cache.occupancy_bytes").Sample(t, float64(s.SSD.CacheBytes()))
+	}
 }
 
 // NextInstanceID issues a unique StorageApp instance ID ("the Morpheus-SSD

@@ -1,0 +1,227 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+
+	"morpheus/internal/apps"
+	"morpheus/internal/core"
+	"morpheus/internal/flash"
+	"morpheus/internal/nvme"
+	"morpheus/internal/ssd"
+	"morpheus/internal/stats"
+	"morpheus/internal/units"
+)
+
+// The cachesweep experiment (EXPERIMENTS.md §E15). This is an
+// extrapolation beyond the paper: Morpheus has no device-side object
+// cache, but its deserialized objects are a deterministic function of an
+// immutable extent, which makes controller DRAM an obvious place to keep
+// hot ones. The sweep re-deserializes the same shards repeatedly —
+// cached vs uncached — across cache sizes and re-read counts, then
+// overwrites one shard (same bytes) to exercise write invalidation, and
+// reports the simulated speedup and hit rate. Both runs must produce
+// byte-identical object streams; the sweep fails otherwise.
+
+// cachesweepApp is the workload: a CPU-side multi-shard deserialization
+// app, so the sweep measures the device path without GPU noise.
+const cachesweepApp = "grep"
+
+// The sweep narrows the command split and the sample window relative to
+// the paper defaults: in sampled execution the timing rig must interpret
+// the first SampleWindow bytes of every stream, so only chunks past the
+// window are replayable from cache. Bench-scale shards are a few hundred
+// KiB; with the default 128 KiB MDTS and 256 KiB window nearly every byte
+// sits inside the un-cacheable prefix and the sweep would measure nothing
+// but it.
+const (
+	cachesweepMDTS   = 32 * units.KiB
+	cachesweepWindow = 16 * units.KiB
+)
+
+// CachesweepRow is one (cache size, re-read count) grid point.
+type CachesweepRow struct {
+	CacheSize units.Bytes
+	Rereads   int
+
+	Uncached units.Duration
+	Cached   units.Duration
+	Speedup  float64
+
+	Hits          int64
+	Misses        int64
+	HitRate       float64
+	Evictions     int64
+	Invalidations int64
+}
+
+// CachesweepResult is the whole sweep.
+type CachesweepResult struct {
+	Rows       []CachesweepRow
+	MaxSpeedup float64
+}
+
+// cachesweepSizes and cachesweepRereads define the grid. The smallest
+// cache is deliberately below the working set so the LRU thrashes; the
+// largest holds every entry.
+var (
+	cachesweepSizes   = []units.Bytes{256 * units.KiB, 4 * units.MiB, 64 * units.MiB}
+	cachesweepRereads = []int{2, 6}
+)
+
+// cachesweepRun deserializes every shard rereads+1 times in stream order,
+// then overwrites shard 0 with its own bytes (a same-content write still
+// invalidates) and reads it once more. Returns the final virtual time and
+// the concatenated per-read object streams for differential comparison.
+func cachesweepRun(po Options, cached bool, size units.Bytes, rereads int) (units.Duration, *core.System, [][]byte, error) {
+	callerMutate := po.Mutate
+	po.Mutate = func(cfg *core.SystemConfig) {
+		if callerMutate != nil {
+			callerMutate(cfg)
+		}
+		cfg.SSD.ObjectCache = cached
+		cfg.SSD.ObjectCacheSize = size
+		cfg.SSD.MDTS = cachesweepMDTS
+		cfg.SSD.SampleWindow = cachesweepWindow
+	}
+	sys, err := buildSystem(po, false)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	app, err := apps.ByName(cachesweepApp)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	files, shards, err := apps.Stage(sys, app, po.scale(), po.Seed)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if po.Faults != (flash.FaultModel{}) {
+		sys.SSD.Flash.SetFaultModel(po.Faults)
+	}
+	sys.ResetTimers()
+	po.observe(sys)
+
+	var outs [][]byte
+	t := units.Time(0)
+	read := func(f *core.File) error {
+		res, err := sys.InvokeStorageApp(t, core.InvokeOptions{App: app.StorageApp(), File: f})
+		if err != nil {
+			return err
+		}
+		t = res.Done
+		outs = append(outs, res.Out)
+		return nil
+	}
+	for r := 0; r <= rereads; r++ {
+		for _, f := range files {
+			if err := read(f); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+	}
+	// Overwrite shard 0 with its own bytes through the conventional WRITE
+	// path. The content is unchanged — so the cached and uncached object
+	// streams stay comparable — but the cache must still drop everything
+	// derived from the extent.
+	addr, t2, err := sys.Host.AllocDMA(t, units.Bytes(files[0].NLB)*nvme.LBASize)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	t = t2
+	comp, t3, err := sys.Driver.Submit(t, &ssd.CmdContext{
+		Cmd:  nvme.BuildWrite(0, files[0].SLBA, files[0].NLB, uint64(addr)),
+		Data: shards[0],
+	})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if err := comp.Status.Err(); err != nil {
+		return 0, nil, nil, fmt.Errorf("cachesweep: overwrite failed: %w", err)
+	}
+	t = t3
+	sys.Host.FreeDMA(addr)
+	if err := read(files[0]); err != nil {
+		return 0, nil, nil, err
+	}
+	po.collect(sys)
+	return units.Duration(t), sys, outs, nil
+}
+
+// RunCachesweep runs the grid. Points are independent and fan out across
+// the worker pool; output is byte-identical at any -parallel setting.
+func RunCachesweep(o Options) (*CachesweepResult, error) {
+	type point struct {
+		size    units.Bytes
+		rereads int
+	}
+	var grid []point
+	for _, n := range cachesweepRereads {
+		for _, s := range cachesweepSizes {
+			grid = append(grid, point{size: s, rereads: n})
+		}
+	}
+	rows, err := runPoints(o, len(grid), func(i int, po Options) (CachesweepRow, error) {
+		p := grid[i]
+		base, _, baseOuts, err := cachesweepRun(po, false, p.size, p.rereads)
+		if err != nil {
+			return CachesweepRow{}, fmt.Errorf("cachesweep uncached: %w", err)
+		}
+		cachedT, sys, cachedOuts, err := cachesweepRun(po, true, p.size, p.rereads)
+		if err != nil {
+			return CachesweepRow{}, fmt.Errorf("cachesweep cached: %w", err)
+		}
+		if len(baseOuts) != len(cachedOuts) {
+			return CachesweepRow{}, fmt.Errorf("cachesweep: read counts differ: %d vs %d", len(baseOuts), len(cachedOuts))
+		}
+		for j := range baseOuts {
+			if !bytes.Equal(baseOuts[j], cachedOuts[j]) {
+				return CachesweepRow{}, fmt.Errorf("cachesweep: read %d differs between cached and uncached runs", j)
+			}
+		}
+		row := CachesweepRow{
+			CacheSize:     p.size,
+			Rereads:       p.rereads,
+			Uncached:      base,
+			Cached:        cachedT,
+			Speedup:       float64(base) / float64(cachedT),
+			Hits:          sys.Counters.Get(stats.SSDCacheHits),
+			Misses:        sys.Counters.Get(stats.SSDCacheMisses),
+			Evictions:     sys.Counters.Get(stats.SSDCacheEvictions),
+			Invalidations: sys.Counters.Get(stats.SSDCacheInvalidations),
+		}
+		if consults := row.Hits + row.Misses; consults > 0 {
+			row.HitRate = float64(row.Hits) / float64(consults)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CachesweepResult{Rows: rows}
+	for _, row := range rows {
+		if row.Speedup > res.MaxSpeedup {
+			res.MaxSpeedup = row.Speedup
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *CachesweepResult) Table() *Table {
+	t := &Table{
+		Title: "E15 — SSD object-cache sweep (extension beyond the paper)",
+		Header: []string{"cache", "re-reads", "uncached deser", "cached deser",
+			"speedup", "hit rate", "evictions", "invalidations"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.CacheSize.String(), fmt.Sprintf("%d", row.Rereads),
+			row.Uncached.String(), row.Cached.String(),
+			f2(row.Speedup)+"x", pct(row.HitRate),
+			fmt.Sprintf("%d", row.Evictions), fmt.Sprintf("%d", row.Invalidations))
+	}
+	t.Note("extrapolation beyond the paper: Morpheus itself has no device-side object cache")
+	t.Note("max speedup = %sx over %s re-reads; the sampled-execution prefix (first %s of each stream) is never cacheable",
+		f2(r.MaxSpeedup), cachesweepApp, cachesweepWindow)
+	return t
+}

@@ -28,6 +28,7 @@ var parallelCases = []struct {
 	{"fig8", false, func(o Options) (tabler, error) { return RunFig8(o) }},
 	{"fig9", false, func(o Options) (tabler, error) { return RunFig9(o) }},
 	{"faults", true, func(o Options) (tabler, error) { return RunFaults(o) }},
+	{"cachesweep", false, func(o Options) (tabler, error) { return RunCachesweep(o) }},
 }
 
 // observedRun executes one experiment with a tracer and registry wired in

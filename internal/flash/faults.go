@@ -11,8 +11,13 @@ import (
 // correction capability — the data at that physical page is lost.
 var ErrUncorrectable = errors.New("flash: uncorrectable ECC error")
 
+// ErrProgramFail reports a program (write) operation the die could not
+// complete — a worn page that no longer holds charge. The page stays
+// unprogrammed; the FTL surfaces the error to the controller's write path.
+var ErrProgramFail = errors.New("flash: program operation failed")
+
 // FaultModel injects deterministic media errors, for failure-path testing
-// and reliability what-ifs. Rates are per million reads.
+// and reliability what-ifs. Rates are per million operations.
 //
 // Correctable errors model ECC read-retry: the read succeeds but the die
 // re-senses the page (extra array time). They are transient — keyed on
@@ -20,9 +25,13 @@ var ErrUncorrectable = errors.New("flash: uncorrectable ECC error")
 // Uncorrectable errors model worn or damaged pages: keyed on the page
 // address alone, so every read of an afflicted page fails until the
 // block is retired.
+// Program faults model pages that can no longer be written: keyed on the
+// page address alone, so every program of an afflicted page fails with
+// ErrProgramFail and the page keeps its erased state.
 type FaultModel struct {
 	CorrectablePerM   int64
 	UncorrectablePerM int64
+	ProgramPerM       int64
 	Seed              uint64
 	// RetryPenalty is the extra array occupancy of an ECC read-retry.
 	RetryPenalty units.Duration
@@ -41,9 +50,24 @@ func (a *Array) SetFaultModel(m FaultModel) {
 	a.faults = m
 }
 
-// FaultStats reports injected-fault activity.
+// FaultStats reports injected-fault activity on the read path.
 func (a *Array) FaultStats() (correctable, uncorrectable int64) {
 	return a.correctable, a.uncorrectable
+}
+
+// ProgramFaults reports how many program operations the model failed.
+func (a *Array) ProgramFaults() int64 { return a.programFaults }
+
+// checkProgramFault decides whether one program operation fails.
+func (a *Array) checkProgramFault(addr PPA) error {
+	m := a.faults
+	if m.ProgramPerM > 0 {
+		if hash64(m.Seed, 0xBADB, a.addrKey(addr))%1_000_000 < uint64(m.ProgramPerM) {
+			a.programFaults++
+			return ErrProgramFail
+		}
+	}
+	return nil
 }
 
 func hash64(vals ...uint64) uint64 {

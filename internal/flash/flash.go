@@ -121,6 +121,7 @@ type Array struct {
 
 	faults                     FaultModel
 	correctable, uncorrectable int64
+	programFaults              int64
 
 	reads, programs, erases int64
 	readBytes, progBytes    units.Bytes
@@ -222,6 +223,9 @@ func (a *Array) Program(ready units.Time, addr PPA, data []byte) (done units.Tim
 	}
 	if units.Bytes(len(data)) > a.geo.PageSize {
 		return ready, fmt.Errorf("flash: program of %d bytes exceeds page size %v", len(data), a.geo.PageSize)
+	}
+	if err := a.checkProgramFault(addr); err != nil {
+		return ready, fmt.Errorf("flash: program %v: %w", addr, err)
 	}
 	page := make([]byte, a.geo.PageSize)
 	copy(page, data)

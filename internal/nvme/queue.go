@@ -22,13 +22,30 @@ type SubmissionQueue struct {
 	tail    uint16 // producer (host) index
 }
 
-// NewSubmissionQueue returns a submission queue with the given depth.
-// Depth must be at least 2 (one slot is always left empty to distinguish
-// full from empty, as in hardware rings).
-func NewSubmissionQueue(id uint16, depth int) *SubmissionQueue {
+// MaxQueueDepth is the largest ring the uint16 head/tail indices can
+// address. At 65536 entries uint16(len(entries)) wraps to 0 and the modular
+// index arithmetic divides by zero; beyond that it silently truncates, so
+// Len() and full/empty detection report a different (smaller) ring than the
+// one allocated. The NVMe spec caps queues at 64 Ki entries anyway
+// (CAP.MQES is a 16-bit 0's-based field); this model keeps one slot free to
+// tell full from empty, hence 65535.
+const MaxQueueDepth = 65535
+
+// checkDepth validates a ring size against the uint16 index arithmetic.
+func checkDepth(depth int) {
 	if depth < 2 {
 		panic("nvme: queue depth must be >= 2")
 	}
+	if depth > MaxQueueDepth {
+		panic(fmt.Sprintf("nvme: queue depth %d exceeds the uint16 ring limit %d", depth, MaxQueueDepth))
+	}
+}
+
+// NewSubmissionQueue returns a submission queue with the given depth.
+// Depth must be in [2, MaxQueueDepth] (one slot is always left empty to
+// distinguish full from empty, as in hardware rings).
+func NewSubmissionQueue(id uint16, depth int) *SubmissionQueue {
+	checkDepth(depth)
 	return &SubmissionQueue{id: id, entries: make([][CommandSize]byte, depth)}
 }
 
@@ -38,10 +55,14 @@ func (q *SubmissionQueue) ID() uint16 { return q.id }
 // Depth returns the ring size.
 func (q *SubmissionQueue) Depth() int { return len(q.entries) }
 
-// Len returns the number of queued, unconsumed commands.
+// Len returns the number of queued, unconsumed commands. The subtraction
+// is ordered so the intermediate never exceeds the ring size: tail+d
+// overflows uint16 for depths above 32768.
 func (q *SubmissionQueue) Len() int {
-	d := uint16(len(q.entries))
-	return int((q.tail + d - q.head) % d)
+	if q.tail >= q.head {
+		return int(q.tail - q.head)
+	}
+	return int(uint16(len(q.entries)) - q.head + q.tail)
 }
 
 // Push enqueues a command at the tail (the host side writes the SQ entry
@@ -82,10 +103,9 @@ type CompletionQueue struct {
 }
 
 // NewCompletionQueue returns a completion queue with the given depth.
+// Depth must be in [2, MaxQueueDepth].
 func NewCompletionQueue(id uint16, depth int) *CompletionQueue {
-	if depth < 2 {
-		panic("nvme: queue depth must be >= 2")
-	}
+	checkDepth(depth)
 	return &CompletionQueue{id: id, entries: make([][CompletionSize]byte, depth), phase: true}
 }
 
@@ -95,10 +115,13 @@ func (q *CompletionQueue) ID() uint16 { return q.id }
 // Depth returns the ring size.
 func (q *CompletionQueue) Depth() int { return len(q.entries) }
 
-// Len returns the number of posted, unconsumed completions.
+// Len returns the number of posted, unconsumed completions. Ordered like
+// SubmissionQueue.Len to stay within uint16 at every legal depth.
 func (q *CompletionQueue) Len() int {
-	d := uint16(len(q.entries))
-	return int((q.tail + d - q.head) % d)
+	if q.tail >= q.head {
+		return int(q.tail - q.head)
+	}
+	return int(uint16(len(q.entries)) - q.head + q.tail)
 }
 
 // Post writes a completion at the tail with the current phase tag.

@@ -1,0 +1,80 @@
+package nvme
+
+import "testing"
+
+// TestQueueDepthBounds: the ring indices are uint16, so depths outside
+// [2, MaxQueueDepth] must be rejected at construction instead of silently
+// wrapping. 65536 is the regression case: uint16(65536) == 0 made Len()'s
+// modulus divide by zero, and larger depths truncated to a smaller ring
+// whose full/empty detection disagreed with the allocated entries.
+func TestQueueDepthBounds(t *testing.T) {
+	cases := []struct {
+		depth int
+		ok    bool
+	}{
+		{1, false},
+		{2, true},
+		{1024, true},
+		{MaxQueueDepth, true},
+		{MaxQueueDepth + 1, false},
+		{100000, false},
+	}
+	build := map[string]func(depth int){
+		"sq":   func(d int) { NewSubmissionQueue(1, d) },
+		"cq":   func(d int) { NewCompletionQueue(1, d) },
+		"pair": func(d int) { NewQueuePair(1, d) },
+	}
+	for name, mk := range build {
+		for _, tc := range cases {
+			panicked := func() (p bool) {
+				defer func() { p = recover() != nil }()
+				mk(tc.depth)
+				return false
+			}()
+			if panicked == tc.ok {
+				t.Errorf("%s depth %d: panicked=%v, want reject=%v", name, tc.depth, panicked, !tc.ok)
+			}
+		}
+	}
+}
+
+// TestQueueMaxDepthArithmetic: at the largest legal depth the ring must
+// still count and wrap correctly — the property the uint16 wrap destroyed.
+func TestQueueMaxDepthArithmetic(t *testing.T) {
+	q := NewSubmissionQueue(1, MaxQueueDepth)
+	if q.Len() != 0 {
+		t.Fatalf("fresh queue Len = %d", q.Len())
+	}
+	// Fill to capacity (one slot stays empty).
+	for i := 0; i < MaxQueueDepth-1; i++ {
+		if err := q.Push(Command{CID: uint16(i)}); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if q.Len() != MaxQueueDepth-1 {
+		t.Fatalf("full queue Len = %d, want %d", q.Len(), MaxQueueDepth-1)
+	}
+	if err := q.Push(Command{}); err != ErrQueueFull {
+		t.Fatalf("push past capacity: err = %v, want ErrQueueFull", err)
+	}
+	// Drain one, push one: the wrap path.
+	if _, err := q.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(Command{}); err != nil {
+		t.Fatalf("push after pop: %v", err)
+	}
+	if q.Len() != MaxQueueDepth-1 {
+		t.Fatalf("Len after wrap = %d, want %d", q.Len(), MaxQueueDepth-1)
+	}
+
+	cq := NewCompletionQueue(1, MaxQueueDepth)
+	for i := 0; i < 3; i++ {
+		if err := cq.Post(Completion{CID: uint16(i)}); err != nil {
+			t.Fatalf("post %d: %v", i, err)
+		}
+	}
+	if cq.Len() != 3 {
+		t.Fatalf("cq Len = %d, want 3", cq.Len())
+	}
+}

@@ -67,6 +67,10 @@ type Controller struct {
 	// dramReserved is the controller DRAM currently pinned as per-instance
 	// chunk buffers (reserved at MINIT, released with the slot).
 	dramReserved units.Bytes
+	// cache is the hot-extent object cache (nil when disabled). Its
+	// occupancy shares the DRAMSize budget with dramReserved; instance
+	// buffers take priority and evict cached objects under pressure.
+	cache *objectCache
 	// pageBuf caches the logical page size.
 	pageSize units.Bytes
 
@@ -94,6 +98,16 @@ func New(cfg Config, counters *stats.Set, fabric *pcie.Fabric) (*Controller, err
 	}
 	for i := 0; i < cfg.EmbeddedCores; i++ {
 		c.cores = append(c.cores, sim.NewResource(fmt.Sprintf("ssd.core%d", i)))
+	}
+	if cfg.ObjectCache {
+		size := cfg.ObjectCacheSize
+		if size <= 0 {
+			size = DefaultObjectCacheSize
+		}
+		if size > cfg.DRAMSize {
+			size = cfg.DRAMSize
+		}
+		c.cache = newObjectCache(size)
 	}
 	if fabric != nil {
 		fabric.Attach(EndpointName, cfg.LinkBandwidth, cfg.LinkLatency)
@@ -139,6 +153,65 @@ func (c *Controller) PinnedDRAM() units.Bytes { return c.dramReserved }
 // instanceBufSize is the per-instance DRAM reservation: one inbound chunk
 // plus worst-case expanded output, both bounded by the MDTS.
 func (c *Controller) instanceBufSize() units.Bytes { return 3 * c.cfg.MDTS }
+
+// CacheEnabled reports whether the hot-extent object cache is on.
+func (c *Controller) CacheEnabled() bool { return c.cache != nil }
+
+// CacheBytes reports the object cache's current DRAM occupancy.
+func (c *Controller) CacheBytes() units.Bytes {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.bytes()
+}
+
+// CacheCapacity reports the object cache's configured DRAM budget.
+func (c *Controller) CacheCapacity() units.Bytes {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.limit
+}
+
+// CacheEntries reports how many chunk results are cached.
+func (c *Controller) CacheEntries() int {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.len()
+}
+
+// cacheSpareDRAM is the controller DRAM the cache may occupy: whatever the
+// pinned instance buffers leave free.
+func (c *Controller) cacheSpareDRAM() units.Bytes {
+	spare := c.cfg.DRAMSize - c.dramReserved
+	if spare < 0 {
+		spare = 0
+	}
+	return spare
+}
+
+// invalidateCache drops every cached entry derived from pages the write
+// [slba, slba+nlb) touches. The range is widened to page boundaries:
+// writePages read-modify-writes whole pages, so a partial-LBA write still
+// replaces full-page content.
+func (c *Controller) invalidateCache(span trace.SpanID, slba uint64, nlb uint32, at units.Time) {
+	if c.cache == nil || nlb == 0 {
+		return
+	}
+	lpp := c.lbasPerPage()
+	first := (int64(slba) / lpp) * lpp
+	last := ((int64(slba)+int64(nlb)-1)/lpp + 1) * lpp
+	n := c.cache.invalidate(uint64(first), uint32(last-first))
+	if n > 0 {
+		c.counters.Add(stats.SSDCacheInvalidations, int64(n))
+		if c.tracer != nil {
+			c.tracer.RecordSpan("ssd.cache", "invalidate",
+				fmt.Sprintf("slba=%d nlb=%d entries=%d", slba, nlb, n),
+				c.tracer.NextSpan(), span, at, at)
+		}
+	}
+}
 
 // releaseInstance frees an execution slot and its DRAM reservation. It is
 // the single release path, called from MDEINIT and from every terminal
@@ -360,15 +433,23 @@ func (c *Controller) doRead(ready units.Time, ctx *CmdContext) (nvme.Status, uni
 
 func (c *Controller) doWrite(ready units.Time, ctx *CmdContext) (nvme.Status, units.Time) {
 	_, t := c.frontend.Acquire(ready, c.cfg.FirmwareCmdCost)
-	// DMA the data from the source address into controller DRAM.
+	// DMA the data from the source address into controller DRAM. An
+	// unmapped PRP means no payload ever arrived: fail before touching
+	// flash, like doMRead's DMA-out path.
 	n := units.Bytes(ctx.Cmd.NLB()) * nvme.LBASize
 	if c.fabric != nil {
-		if e, err := c.fabric.ReadFrom(t, EndpointName, pcie.Addr(ctx.Cmd.PRP1), n); err == nil {
-			t = e
+		e, err := c.fabric.ReadFrom(t, EndpointName, pcie.Addr(ctx.Cmd.PRP1), n)
+		if err != nil {
+			return nvme.StatusInvalidField, t
 		}
+		t = e
 	}
 	_, t = c.dram.Transfer(t, n)
-	return c.writePages(t, ctx.Cmd.SLBA(), ctx.Cmd.NLB(), ctx.Data)
+	st, end := c.writePages(t, ctx.Cmd.SLBA(), ctx.Cmd.NLB(), ctx.Data)
+	// Even a failed write may have programmed a prefix of its pages, so
+	// the cache drops overlapping entries unconditionally.
+	c.invalidateCache(ctx.Span, ctx.Cmd.SLBA(), ctx.Cmd.NLB(), end)
+	return st, end
 }
 
 // writePages writes data covering [slba, slba+nlb) through the FTL,
@@ -421,9 +502,20 @@ func (c *Controller) doMInit(ready units.Time, ctx *CmdContext) (nvme.Status, un
 	// Slot exhaustion: every execution slot occupied, or no DRAM left for
 	// another chunk buffer. Both clear when an instance is released, so
 	// the host may retry.
-	if len(c.instances) >= c.MaxInstances() ||
-		c.dramReserved+c.instanceBufSize() > c.cfg.DRAMSize {
+	if len(c.instances) >= c.MaxInstances() {
 		return nvme.StatusNoSlots, ready
+	}
+	if need := c.dramReserved + c.CacheBytes() + c.instanceBufSize(); need > c.cfg.DRAMSize {
+		// The chunk-buffer reservation outranks opportunistically cached
+		// objects: shrink the cache before refusing the slot.
+		if c.cache != nil {
+			if n := c.cache.evictFor(need - c.cfg.DRAMSize); n > 0 {
+				c.counters.Add(stats.SSDCacheEvictions, int64(n))
+			}
+		}
+		if c.dramReserved+c.CacheBytes()+c.instanceBufSize() > c.cfg.DRAMSize {
+			return nvme.StatusNoSlots, ready
+		}
 	}
 	if units.Bytes(len(ctx.Code)) > c.cfg.ISRAMSize {
 		return nvme.StatusSRAMOverflow, ready
@@ -440,11 +532,18 @@ func (c *Controller) doMInit(ready units.Time, ctx *CmdContext) (nvme.Status, un
 	// DMA the code image from the host and load it into I-SRAM on the
 	// pinned core ("after receiving a MINIT command, the firmware program
 	// first ensures that the StorageApp code resides in the I-SRAM").
+	// An unmapped PRP means the image never arrived: fail before the slot
+	// and its DRAM reservation are committed, so nothing leaks.
 	t := ready
 	if c.fabric != nil {
-		if e, err := c.fabric.ReadFrom(ready, EndpointName, pcie.Addr(ctx.Cmd.PRP1), units.Bytes(len(ctx.Code))); err == nil {
-			t = e
+		e, err := c.fabric.ReadFrom(ready, EndpointName, pcie.Addr(ctx.Cmd.PRP1), units.Bytes(len(ctx.Code)))
+		if err != nil {
+			return nvme.StatusInvalidField, ready
 		}
+		t = e
+	}
+	if c.cache != nil {
+		in.appHash = appIdentity(ctx.Code, ctx.Args, in.sampled, c.cfg.SampleWindow)
 	}
 	_, t = c.cores[coreIdx].Acquire(t, c.cfg.FirmwareCmdCost+units.Duration(len(ctx.Code))*2*units.Nanosecond)
 	c.instances[id] = in
@@ -469,6 +568,30 @@ func (c *Controller) doMRead(ready units.Time, ctx *CmdContext) (nvme.Status, un
 	}
 	dst := pcie.Addr(ctx.Cmd.PRP1)
 	nlb := ctx.Cmd.NLB()
+	// Object-cache consult: if this exact chunk of this exact stream was
+	// deserialized before and no overlapping write intervened, replay the
+	// recorded result — no flash fetch, no VM execution.
+	var key cacheKey
+	replayable := false
+	if c.cache != nil {
+		replayable = in.cacheReplayable(ctx.LastChunk, int64(c.cfg.SampleWindow))
+	}
+	if replayable {
+		key = cacheKey{
+			slba: ctx.Cmd.SLBA(), nlb: nlb,
+			validBytes: ctx.ValidBytes, lastChunk: ctx.LastChunk,
+			appHash: in.appHash, prefixHash: in.streamHash,
+		}
+		if e, hit := c.cache.get(key); hit {
+			return c.serveCached(t, ctx, in, e, key, dst)
+		}
+		c.counters.Add(stats.SSDCacheMisses, 1)
+		if c.tracer != nil {
+			c.tracer.RecordSpan("ssd.cache", "miss",
+				fmt.Sprintf("instance=%d slba=%d nlb=%d", in.id, key.slba, key.nlb),
+				c.tracer.NextSpan(), ctx.Span, t, t)
+		}
+	}
 	// Collect the chunk's pages into D-SRAM (via DRAM), then run the
 	// StorageApp over the whole chunk on the pinned core. Page reads
 	// overlap; VM execution starts when the data is buffered.
@@ -490,6 +613,16 @@ func (c *Controller) doMRead(ready units.Time, ctx *CmdContext) (nvme.Status, un
 		// without waiting for the host's abort MDEINIT.
 		c.releaseInstance(in.id)
 		return nvme.StatusAppFault, dataAt
+	}
+	if c.cache != nil {
+		// Advance the stream identity past the consumed chunk (hit or
+		// miss, replayable or not — the prefix hash must cover every
+		// chunk).
+		in.extents = append(in.extents, extent{slba: ctx.Cmd.SLBA(), nlb: nlb})
+		in.streamHash = chunkHash(in.streamHash, cacheKey{
+			slba: ctx.Cmd.SLBA(), nlb: nlb,
+			validBytes: ctx.ValidBytes, lastChunk: ctx.LastChunk,
+		})
 	}
 	// Chunks of one instance execute in stream order: a later chunk may
 	// not backfill an earlier core gap.
@@ -518,6 +651,66 @@ func (c *Controller) doMRead(ready units.Time, ctx *CmdContext) (nvme.Status, un
 			ctx.Sink(res.out)
 		}
 	}
+	if c.cache != nil && replayable && (in.finished || in.sampled) {
+		// The command fully succeeded and the post-chunk transition is
+		// replayable: record it. out/carry/extents are cloned so neither
+		// later instance mutation nor a retaining Sink can corrupt the
+		// entry.
+		e := &cacheEntry{
+			key:      key,
+			out:      append([]byte(nil), res.out...),
+			carry:    append([]byte(nil), in.carry...),
+			cpb:      in.cpb,
+			finished: in.finished,
+			retVal:   in.retVal,
+			inBytes:  in.inBytes,
+			outBytes: in.outBytes,
+			cycles:   in.cycles,
+			extents:  append([]extent(nil), in.extents...),
+		}
+		if n := c.cache.put(e, c.cacheSpareDRAM()); n > 0 {
+			c.counters.Add(stats.SSDCacheEvictions, int64(n))
+		}
+	}
+	return nvme.StatusSuccess, end
+}
+
+// serveCached replays a recorded chunk transition on a cache hit: no flash
+// fetch and no VM execution, only the modeled DRAM pass and DMA-out. The
+// observable outcome — object bytes, instance accounting, completion
+// status — is identical to the miss path's by construction.
+func (c *Controller) serveCached(t units.Time, ctx *CmdContext, in *instance, e *cacheEntry, key cacheKey, dst pcie.Addr) (nvme.Status, units.Time) {
+	c.counters.Add(stats.SSDCacheHits, 1)
+	// Chunks of one instance complete in stream order even when served
+	// from cache.
+	if t < in.lastVMEnd {
+		t = in.lastVMEnd
+	}
+	in.applyCache(e)
+	in.streamHash = chunkHash(in.streamHash, cacheKey{
+		slba: key.slba, nlb: key.nlb,
+		validBytes: key.validBytes, lastChunk: key.lastChunk,
+	})
+	start := t
+	end := t
+	if len(e.out) > 0 {
+		_, end = c.dram.Transfer(end, units.Bytes(len(e.out)))
+		if c.fabric != nil {
+			dmaEnd, err := c.fabric.WriteTo(end, EndpointName, dst, units.Bytes(len(e.out)))
+			if err != nil {
+				return nvme.StatusInvalidField, end // unmapped DMA target
+			}
+			end = dmaEnd
+		}
+		if ctx.Sink != nil {
+			ctx.Sink(append([]byte(nil), e.out...))
+		}
+	}
+	if c.tracer != nil {
+		c.tracer.RecordSpan("ssd.cache", "hit",
+			fmt.Sprintf("instance=%d slba=%d nlb=%d bytes=%d", in.id, key.slba, key.nlb, len(e.out)),
+			c.tracer.NextSpan(), ctx.Span, start, end)
+	}
 	return nvme.StatusSuccess, end
 }
 
@@ -530,9 +723,13 @@ func (c *Controller) doMWrite(ready units.Time, ctx *CmdContext) (nvme.Status, u
 	_, t := c.frontend.Acquire(ready, c.cfg.FirmwareCmdCost)
 	n := units.Bytes(len(ctx.Data))
 	if c.fabric != nil {
-		if e, err := c.fabric.ReadFrom(t, EndpointName, pcie.Addr(ctx.Cmd.PRP1), n); err == nil {
-			t = e
+		// An unmapped PRP means the serialization payload never arrived:
+		// fail before feeding garbage to the StorageApp.
+		e, err := c.fabric.ReadFrom(t, EndpointName, pcie.Addr(ctx.Cmd.PRP1), n)
+		if err != nil {
+			return nvme.StatusInvalidField, t
 		}
+		t = e
 	}
 	_, t = c.dram.Transfer(t, n)
 	// MWRITE always interprets (serialization volumes are small; the
@@ -547,25 +744,32 @@ func (c *Controller) doMWrite(ready units.Time, ctx *CmdContext) (nvme.Status, u
 		c.releaseInstance(in.id)
 		return nvme.StatusAppFault, t
 	}
-	in.cycles += res.cycles
-	in.outBytes += int64(len(res.out))
 	_, end := core.Acquire(t, c.cfg.CoreFreq.Cycles(res.cycles))
-	c.counters.Add(stats.StorageAppCyc, int64(res.cycles))
-	if res.halted {
-		in.finished = true
-		in.retVal = in.vm.ReturnValue()
-	}
 	if len(res.out) > 0 {
 		_, end = c.dram.Transfer(end, units.Bytes(len(res.out)))
 		nlb := uint32((len(res.out) + nvme.LBASize - 1) / nvme.LBASize)
 		st, wEnd := c.writePages(end, ctx.Cmd.SLBA(), nlb, res.out)
+		// Even a failed write may have programmed a prefix of its pages,
+		// so overlapping cached objects go regardless of status.
+		c.invalidateCache(ctx.Span, ctx.Cmd.SLBA(), nlb, wEnd)
 		if st != nvme.StatusSuccess {
+			// Nothing is committed on failure: the host sees the error
+			// before the instance's accounting, completion state, or data
+			// sink observe the chunk.
 			return st, wEnd
 		}
 		end = wEnd
 		if ctx.Sink != nil {
 			ctx.Sink(res.out)
 		}
+	}
+	// Commit instance state only once the data is durably on flash.
+	in.cycles += res.cycles
+	in.outBytes += int64(len(res.out))
+	c.counters.Add(stats.StorageAppCyc, int64(res.cycles))
+	if res.halted {
+		in.finished = true
+		in.retVal = in.vm.ReturnValue()
 	}
 	return nvme.StatusSuccess, end
 }
@@ -618,5 +822,8 @@ func (c *Controller) LoadFile(startPage int64, data []byte) (slba uint64, nlb ui
 	}
 	slba = uint64(startPage) * uint64(lpp)
 	nlb = uint32((int64(len(data)) + nvme.LBASize - 1) / nvme.LBASize)
+	// Staging new content over an extent invalidates objects derived from
+	// its previous content (re-staging between experiment phases).
+	c.invalidateCache(0, slba, nlb, 0)
 	return slba, nlb, nil
 }

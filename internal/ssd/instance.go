@@ -49,6 +49,14 @@ type instance struct {
 
 	// lastVMEnd orders chunk execution slots on the pinned core.
 	lastVMEnd units.Time
+
+	// Object-cache stream identity (cache.go): appHash covers code, args,
+	// mode, and sample window; streamHash rolls over every chunk range the
+	// instance has consumed; extents is the consumed-range list entries
+	// copy as their invalidation set.
+	appHash    uint64
+	streamHash uint64
+	extents    []extent
 }
 
 func newInstance(id uint32, coreIdx int, prog *mvm.Program, args []int64, native NativeFunc, sampled bool, cfg mvm.Config, cost mvm.CostModel) (*instance, error) {
@@ -177,6 +185,52 @@ func (in *instance) align(chunk []byte, final bool) []byte {
 	}
 	in.carry = append([]byte(nil), buf[i+1:]...)
 	return buf[:i+1]
+}
+
+// cacheReplayable reports whether the next chunk's state transition can be
+// replayed from a cache entry without running the VM — the condition both
+// for storing an entry (evaluated before processing) and for applying a
+// hit. Skipping VM execution is only safe when the VM's internal state can
+// no longer influence later observable behavior:
+//
+//   - a final chunk is terminal: afterwards only scalar state (finished,
+//     retVal, cpb, byte counts) is ever read;
+//   - in sampled mode, once the timing rig has consumed the sample window
+//     it is never fed again, so mid-stream chunks only evolve the carry
+//     and the counters — all recorded in the entry;
+//   - in exact mode the VM is the data plane, so mid-stream chunks are
+//     never replayable.
+func (in *instance) cacheReplayable(final bool, sampleWindow int64) bool {
+	if in.finished {
+		return false
+	}
+	if final {
+		return true
+	}
+	if in.sampled {
+		return in.vm == nil || in.vm.Consumed() >= sampleWindow
+	}
+	return false
+}
+
+// applyCache replays a recorded chunk transition onto the instance. The
+// entry's watermarks are absolute: the key's prefix hash guarantees the
+// hitting instance is at the identical pre-chunk state the recording
+// instance was.
+func (in *instance) applyCache(e *cacheEntry) {
+	in.inBytes = e.inBytes
+	in.outBytes = e.outBytes
+	in.cycles = e.cycles
+	in.cpb = e.cpb
+	in.carry = append([]byte(nil), e.carry...)
+	in.retVal = e.retVal
+	if e.finished {
+		in.finished = true
+		// Terminal chunk: the rig (or data-plane VM) would have been
+		// abandoned; only scalars are read from here on.
+		in.vm = nil
+	}
+	in.extents = append(in.extents[:0], e.extents...)
 }
 
 // CyclesPerByte reports the instance's measured cycle rate.

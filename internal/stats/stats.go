@@ -29,6 +29,13 @@ const (
 	HostParseCyc    = "host.parse_cycles"
 	DMATransfers    = "dma.transfers"
 
+	// Hot-extent object cache (internal/ssd/cache.go). Written only when
+	// the cache is enabled, so default-off runs keep their exact schema.
+	SSDCacheHits          = "ssd.cache.hits"
+	SSDCacheMisses        = "ssd.cache.misses"
+	SSDCacheEvictions     = "ssd.cache.evictions"
+	SSDCacheInvalidations = "ssd.cache.invalidations"
+
 	// Resilience counters (the retry/fallback layer in internal/core).
 	CmdRetries       = "core.retries"           // command and train re-submissions
 	CmdTimeouts      = "core.timeouts"          // per-command deadlines exceeded
