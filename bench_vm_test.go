@@ -1,0 +1,384 @@
+// The VM engine benchmark suite: per-app scan/emit kernels (the real
+// Table I StorageApps over generated inputs) plus bytecode-heavy
+// microkernels (arithmetic, branches, D-SRAM traffic, calls, decimal
+// printing), each timed under the interpreter and the compiled engine.
+//
+//	go test -bench 'BenchmarkVM' -run '^$' .
+//
+// BenchmarkVMSuite additionally proves the two engines bit-identical on
+// every kernel (outputs, cycles, steps) and publishes the geomean
+// wall-clock speedup — as the compiled-x metric and, when
+// MORPHEUS_BENCH_VM_OUT names a file, as a BENCH_vm.json record for CI to
+// archive. Only host wall-clock differs between engines; the simulated
+// cycle counts are identical by construction (see DESIGN.md).
+package morpheus
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"morpheus/internal/apps"
+	"morpheus/internal/morphc"
+	"morpheus/internal/mvm"
+	"morpheus/internal/units"
+)
+
+// vmKernel is one benchmark workload: a program plus its input stream.
+type vmKernel struct {
+	name  string
+	prog  *mvm.Program
+	input []byte
+}
+
+const vmBenchArithSrc = `
+.name arith
+	push 0
+	store 0
+	push 0
+	store 1
+loop:
+	load 0
+	push 200000
+	ge
+	jnz done
+	load 1
+	load 0
+	push 3
+	mul
+	push 7
+	xor
+	add
+	store 1
+	load 0
+	push 1
+	add
+	store 0
+	jmp loop
+done:
+	load 1
+	halt
+`
+
+const vmBenchBranchSrc = `
+.name branchy
+	push 0
+	store 0
+	push 0
+	store 1
+loop:
+	load 0
+	push 150000
+	ge
+	jnz done
+	load 0
+	push 3
+	mod
+	jz mul3
+	load 0
+	push 1
+	and
+	jnz odd
+	load 1
+	push 2
+	add
+	store 1
+	jmp next
+mul3:
+	load 1
+	push 5
+	add
+	store 1
+	jmp next
+odd:
+	load 1
+	push 1
+	sub
+	store 1
+next:
+	load 0
+	push 1
+	add
+	store 0
+	jmp loop
+done:
+	load 1
+	halt
+`
+
+const vmBenchSRAMSrc = `
+.name sramloop
+	push 0
+	store 0
+loop:
+	load 0
+	push 150000
+	ge
+	jnz done
+	load 0
+	push 1023
+	and
+	push 8
+	mul
+	store 2
+	load 2
+	load 0
+	st64
+	load 2
+	ld64
+	pop
+	load 0
+	push 1
+	add
+	store 0
+	jmp loop
+done:
+	halt
+`
+
+const vmBenchCallSrc = `
+.name calls
+	push 0
+	store 0
+	push 0
+	store 1
+loop:
+	load 0
+	push 80000
+	ge
+	jnz done
+	load 0
+	call fn
+	load 1
+	add
+	store 1
+	load 0
+	push 1
+	add
+	store 0
+	jmp loop
+done:
+	load 1
+	halt
+fn:
+	push 3
+	mul
+	push 11
+	mod
+	ret
+`
+
+const vmBenchPrintSrc = `
+.name printer
+	push 0
+	store 0
+loop:
+	load 0
+	push 40000
+	ge
+	jnz done
+	load 0
+	sys print_int
+	push 44
+	sys print_char
+	load 0
+	push 1
+	add
+	store 0
+	jmp loop
+done:
+	halt
+`
+
+// vmBenchKernels builds the suite: one kernel per distinct StorageApp
+// program (apps sharing a deserializer share a kernel) plus the
+// microkernels.
+func vmBenchKernels(tb testing.TB) []vmKernel {
+	var kernels []vmKernel
+	seen := map[string]bool{}
+	for _, app := range apps.All() {
+		if seen[app.StorageSrc] {
+			continue
+		}
+		seen[app.StorageSrc] = true
+		prog, err := morphc.Compile(app.StorageSrc, app.Entry)
+		if err != nil {
+			tb.Fatalf("%s: compile: %v", app.Name, err)
+		}
+		kernels = append(kernels, vmKernel{
+			name:  "app-" + app.Name,
+			prog:  prog,
+			input: app.Gen(192*units.KiB, 1, 20160618)[0],
+		})
+	}
+	for name, src := range map[string]string{
+		"micro-arith":  vmBenchArithSrc,
+		"micro-branch": vmBenchBranchSrc,
+		"micro-sram":   vmBenchSRAMSrc,
+		"micro-call":   vmBenchCallSrc,
+		"micro-print":  vmBenchPrintSrc,
+	} {
+		prog, err := mvm.Assemble(src)
+		if err != nil {
+			tb.Fatalf("%s: assemble: %v", name, err)
+		}
+		kernels = append(kernels, vmKernel{name: name, prog: prog})
+	}
+	// Stable order for output and for the JSON record.
+	for i := 0; i < len(kernels); i++ {
+		for j := i + 1; j < len(kernels); j++ {
+			if kernels[j].name < kernels[i].name {
+				kernels[i], kernels[j] = kernels[j], kernels[i]
+			}
+		}
+	}
+	return kernels
+}
+
+// runVMKernel executes one kernel once under eng, returning the drained
+// output and the VM for counter inspection.
+func runVMKernel(tb testing.TB, k vmKernel, eng mvm.EngineKind) ([]byte, *mvm.VM) {
+	tb.Helper()
+	cfg := mvm.DefaultConfig()
+	cfg.Engine = eng
+	vm, err := mvm.New(k.prog, cfg, mvm.DefaultCostModel())
+	if err != nil {
+		tb.Fatalf("%s: %v", k.name, err)
+	}
+	if err := vm.Feed(k.input, true); err != nil {
+		tb.Fatalf("%s: feed: %v", k.name, err)
+	}
+	var out []byte
+	for {
+		switch st := vm.Run(); st {
+		case mvm.StateOutputFull, mvm.StateFlushRequested:
+			out = append(out, vm.DrainOutput()...)
+		case mvm.StateHalted:
+			out = append(out, vm.DrainOutput()...)
+			return out, vm
+		default:
+			tb.Fatalf("%s: unexpected state %v (trap: %v)", k.name, st, vm.TrapErr())
+		}
+	}
+}
+
+// BenchmarkVM reports standard per-kernel, per-engine numbers
+// (ns/op, MB/s for input-driven kernels).
+func BenchmarkVM(b *testing.B) {
+	for _, k := range vmBenchKernels(b) {
+		for _, eng := range []mvm.EngineKind{mvm.EngineInterp, mvm.EngineCompiled} {
+			b.Run(k.name+"/"+eng.String(), func(b *testing.B) {
+				if len(k.input) > 0 {
+					b.SetBytes(int64(len(k.input)))
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					runVMKernel(b, k, eng)
+				}
+			})
+		}
+	}
+}
+
+// vmKernelResult is one row of the BENCH_vm.json record.
+type vmKernelResult struct {
+	Kernel     string  `json:"kernel"`      // suite entry name
+	InputBytes int     `json:"input_bytes"` // stream size (0 = pure bytecode)
+	Steps      int64   `json:"steps"`       // bytecode instructions executed
+	Reps       int     `json:"reps"`        // timed repetitions per engine
+	InterpNS   int64   `json:"interp_ns"`   // wall clock per rep, interpreter
+	CompiledNS int64   `json:"compiled_ns"` // wall clock per rep, compiled
+	Speedup    float64 `json:"speedup"`     // interp_ns / compiled_ns
+	Identical  bool    `json:"identical"`   // outputs+cycles+steps matched
+}
+
+// vmBenchRecord is the BENCH_vm.json schema (documented in
+// EXPERIMENTS.md), mirroring BENCH_harness.json.
+type vmBenchRecord struct {
+	NumCPU         int              `json:"num_cpu"`
+	Kernels        []vmKernelResult `json:"kernels"`
+	GeomeanSpeedup float64          `json:"geomean_speedup"`
+	AllIdentical   bool             `json:"all_identical"`
+}
+
+// timeVMKernel measures per-rep wall clock for one kernel/engine.
+func timeVMKernel(b *testing.B, k vmKernel, eng mvm.EngineKind, reps int) time.Duration {
+	b.Helper()
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		runVMKernel(b, k, eng)
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+// BenchmarkVMSuite times every kernel under both engines (equal rep
+// counts), verifies bit-identical behavior, and publishes the geomean
+// speedup plus the optional BENCH_vm.json record.
+func BenchmarkVMSuite(b *testing.B) {
+	kernels := vmBenchKernels(b)
+	for i := 0; i < b.N; i++ {
+		rec := vmBenchRecord{NumCPU: runtime.NumCPU(), AllIdentical: true}
+		logGeo := 0.0
+		for _, k := range kernels {
+			// Warm-up doubles as the differential check.
+			iOut, iVM := runVMKernel(b, k, mvm.EngineInterp)
+			cOut, cVM := runVMKernel(b, k, mvm.EngineCompiled)
+			identical := string(iOut) == string(cOut) &&
+				math.Float64bits(iVM.Cycles()) == math.Float64bits(cVM.Cycles()) &&
+				iVM.Steps() == cVM.Steps()
+			if !identical {
+				b.Errorf("%s: engines diverge (cycles %x vs %x, steps %d vs %d)",
+					k.name, math.Float64bits(iVM.Cycles()), math.Float64bits(cVM.Cycles()),
+					iVM.Steps(), cVM.Steps())
+			}
+			// Pick a rep count that keeps the interpreter side around
+			// ~120ms, then time both engines over the same rep count.
+			probe := timeVMKernel(b, k, mvm.EngineInterp, 1)
+			reps := 3
+			if target := 120 * time.Millisecond; probe > 0 && int(target/probe) > reps {
+				reps = int(target / probe)
+			}
+			interpNS := timeVMKernel(b, k, mvm.EngineInterp, reps)
+			compiledNS := timeVMKernel(b, k, mvm.EngineCompiled, reps)
+			speedup := float64(interpNS) / float64(compiledNS)
+			logGeo += math.Log(speedup)
+			rec.AllIdentical = rec.AllIdentical && identical
+			rec.Kernels = append(rec.Kernels, vmKernelResult{
+				Kernel:     k.name,
+				InputBytes: len(k.input),
+				Steps:      cVM.Steps(),
+				Reps:       reps,
+				InterpNS:   interpNS.Nanoseconds(),
+				CompiledNS: compiledNS.Nanoseconds(),
+				Speedup:    speedup,
+				Identical:  identical,
+			})
+		}
+		rec.GeomeanSpeedup = math.Exp(logGeo / float64(len(kernels)))
+		if i > 0 {
+			continue
+		}
+		b.ReportMetric(rec.GeomeanSpeedup, "compiled-x")
+		if testing.Verbose() {
+			var sb strings.Builder
+			for _, kr := range rec.Kernels {
+				fmt.Fprintf(&sb, "%-22s %9d ns -> %9d ns  %5.2fx\n", kr.Kernel, kr.InterpNS, kr.CompiledNS, kr.Speedup)
+			}
+			b.Logf("\n%sgeomean %.2fx\n", sb.String(), rec.GeomeanSpeedup)
+		}
+		if path := os.Getenv("MORPHEUS_BENCH_VM_OUT"); path != "" {
+			data, err := json.MarshalIndent(rec, "", " ")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -19,6 +19,12 @@
 // cachesweep experiment manages the cache itself and ignores both flags'
 // cache fields where it must.
 //
+// -mvm-engine selects the embedded-core execution engine: "compiled" (the
+// default closure-compiled engine with superinstruction fusion) or
+// "interp" (the reference interpreter). Every simulated result — tables,
+// metrics, traces — is byte-identical under either engine; only host
+// wall-clock differs.
+//
 // -trace-out writes a Chrome trace-event JSON (load it at
 // https://ui.perfetto.dev or chrome://tracing); -metrics-out writes the
 // aggregated metrics registry, as Prometheus text by default or as JSON
@@ -39,6 +45,7 @@ import (
 
 	"morpheus/internal/core"
 	"morpheus/internal/exp"
+	"morpheus/internal/mvm"
 	"morpheus/internal/stats"
 	"morpheus/internal/trace"
 	"morpheus/internal/units"
@@ -220,6 +227,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "workers for independent sweep points (0 = NumCPU, 1 = sequential); output is byte-identical at any setting")
 		ssdCache   = flag.Bool("ssd-cache", false, "enable the SSD-DRAM deserialized-object cache in every experiment (extension beyond the paper)")
 		ssdCacheMB = flag.Int("ssd-cache-mb", 0, "object-cache capacity in MiB (implies -ssd-cache; 0 = the 64MiB default)")
+		mvmEngine  = flag.String("mvm-engine", "compiled", "embedded-core execution engine: compiled or interp (bit-identical results; compiled is faster in host wall-clock)")
 	)
 	flag.Parse()
 	exps := experiments()
@@ -233,6 +241,12 @@ func main() {
 	opts.Scale = *scale
 	opts.Seed = *seed
 	opts.Parallel = *parallel
+	eng, err := mvm.ParseEngine(*mvmEngine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "morpheusbench: %v\n", err)
+		os.Exit(2)
+	}
+	opts.MVMEngine = eng
 	if *ssdCache || *ssdCacheMB > 0 {
 		mb := *ssdCacheMB
 		opts.Mutate = func(cfg *core.SystemConfig) {

@@ -15,6 +15,7 @@ import (
 	"morpheus/internal/apps"
 	"morpheus/internal/core"
 	"morpheus/internal/flash"
+	"morpheus/internal/mvm"
 	"morpheus/internal/stats"
 	"morpheus/internal/trace"
 	"morpheus/internal/units"
@@ -47,6 +48,11 @@ type Options struct {
 	// one worker per CPU, 1 forces the sequential loop. Output (tables,
 	// Metrics, Trace) is byte-identical at every setting; see parallel.go.
 	Parallel int
+	// MVMEngine selects the embedded-core execution engine (default: the
+	// closure-compiled engine). Both engines are bit-identical in every
+	// simulated result — tables, metrics, traces — so this only changes
+	// host wall-clock.
+	MVMEngine mvm.EngineKind
 }
 
 // observe wires the experiment-wide tracer into a freshly staged system.
@@ -83,6 +89,9 @@ func buildSystem(o Options, withGPU bool) (*core.System, error) {
 	cfg.WithGPU = withGPU
 	if o.Mutate != nil {
 		o.Mutate(&cfg)
+	}
+	if o.MVMEngine != mvm.EngineDefault {
+		cfg.SSD.VM.Engine = o.MVMEngine
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {

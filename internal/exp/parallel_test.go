@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"morpheus/internal/mvm"
 	"morpheus/internal/stats"
 	"morpheus/internal/trace"
 )
@@ -52,14 +53,16 @@ func observedRun(t *testing.T, run func(Options) (tabler, error), o Options) (st
 // advertises: for every experiment and seed, a run fanned across 8
 // workers renders the same table, emits the same metrics JSON byte for
 // byte, and collects the same trace events (span IDs included) as the
-// sequential run.
+// sequential run. The first seed of each experiment additionally
+// cross-checks the MVM engines: an interpreter run must match the
+// compiled-engine reference byte for byte end to end.
 func TestParallelMatchesSequential(t *testing.T) {
 	seeds := []int64{20160618, 7, 424242}
 	if testing.Short() {
 		seeds = seeds[:1]
 	}
 	for _, tc := range parallelCases {
-		for _, seed := range seeds {
+		for si, seed := range seeds {
 			t.Run(fmt.Sprintf("%s/seed=%d", tc.name, seed), func(t *testing.T) {
 				if tc.heavy && testing.Short() {
 					t.Skip("fault campaign is the suite's heaviest experiment")
@@ -70,6 +73,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 				// under -race.
 				o.Scale = 1.0 / 8192
 				o.Seed = seed
+				o.MVMEngine = mvm.EngineCompiled
 
 				o.Parallel = 1
 				seqTable, seqJSON, seqEvents := observedRun(t, tc.run, o)
@@ -85,6 +89,22 @@ func TestParallelMatchesSequential(t *testing.T) {
 				if !reflect.DeepEqual(seqEvents, parEvents) {
 					t.Errorf("trace diverged: %d sequential events vs %d parallel",
 						len(seqEvents), len(parEvents))
+				}
+
+				if si == 0 {
+					o.Parallel = 1
+					o.MVMEngine = mvm.EngineInterp
+					intTable, intJSON, intEvents := observedRun(t, tc.run, o)
+					if intTable != seqTable {
+						t.Errorf("interp engine table diverged:\ncompiled:\n%s\ninterp:\n%s", seqTable, intTable)
+					}
+					if !bytes.Equal(intJSON, seqJSON) {
+						t.Errorf("interp engine metrics JSON diverged:\ncompiled:\n%s\ninterp:\n%s", seqJSON, intJSON)
+					}
+					if !reflect.DeepEqual(intEvents, seqEvents) {
+						t.Errorf("interp engine trace diverged: %d compiled events vs %d interp",
+							len(seqEvents), len(intEvents))
+					}
 				}
 			})
 		}

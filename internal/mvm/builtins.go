@@ -74,48 +74,19 @@ func (vm *VM) sys(b Builtin) State {
 		if err != nil {
 			return vm.trap("%v", err)
 		}
-		var buf [8]byte
-		var n int
-		switch b {
-		case SysEmitI32:
-			binary.LittleEndian.PutUint32(buf[:4], uint32(v))
-			n = 4
-		case SysEmitI64:
-			binary.LittleEndian.PutUint64(buf[:8], uint64(v))
-			n = 8
-		case SysEmitF32:
-			binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(float32(math.Float64frombits(uint64(v)))))
-			n = 4
-		case SysEmitF64:
-			binary.LittleEndian.PutUint64(buf[:8], uint64(v))
-			n = 8
-		case SysEmitByte:
-			buf[0] = byte(v)
-			n = 1
-		}
-		vm.output = append(vm.output, buf[:n]...)
-		vm.cycles += vm.cost.SysFixed + vm.cost.EmitPerByte*float64(n)
-		vm.pc++
-		vm.checkOutput()
+		vm.sysEmitVal(b, v)
 	case SysPrintInt:
 		v, err := vm.pop()
 		if err != nil {
 			return vm.trap("%v", err)
 		}
-		s := strconv.FormatInt(v, 10)
-		vm.output = append(vm.output, s...)
-		vm.cycles += vm.cost.SysFixed + vm.cost.PrintPerByte*float64(len(s))
-		vm.pc++
-		vm.checkOutput()
+		vm.sysPrintIntVal(v)
 	case SysPrintChar:
 		v, err := vm.pop()
 		if err != nil {
 			return vm.trap("%v", err)
 		}
-		vm.output = append(vm.output, byte(v))
-		vm.cycles += vm.cost.SysFixed + vm.cost.PrintPerByte
-		vm.pc++
-		vm.checkOutput()
+		vm.sysPrintCharVal(v)
 	case SysFlush:
 		vm.cycles += vm.cost.SysFixed
 		vm.pc++
@@ -131,6 +102,53 @@ func (vm *VM) sys(b Builtin) State {
 		return vm.trap("mvm: unknown builtin %d", int64(b))
 	}
 	return StateRunnable
+}
+
+// sysEmitVal appends v's encoding for one of the binary emit builtins,
+// charges the per-byte cost, advances pc, and applies the flush
+// threshold. Shared between the interpreter's sys dispatch and the
+// compiled engine's (possibly fused) emit handlers.
+func (vm *VM) sysEmitVal(b Builtin, v int64) {
+	var buf [8]byte
+	var n int
+	switch b {
+	case SysEmitI32:
+		binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+		n = 4
+	case SysEmitI64:
+		binary.LittleEndian.PutUint64(buf[:8], uint64(v))
+		n = 8
+	case SysEmitF32:
+		binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(float32(math.Float64frombits(uint64(v)))))
+		n = 4
+	case SysEmitF64:
+		binary.LittleEndian.PutUint64(buf[:8], uint64(v))
+		n = 8
+	case SysEmitByte:
+		buf[0] = byte(v)
+		n = 1
+	}
+	vm.output = append(vm.output, buf[:n]...)
+	vm.cycles += vm.cost.SysFixed + vm.cost.EmitPerByte*float64(n)
+	vm.pc++
+	vm.checkOutput()
+}
+
+// sysPrintIntVal implements ms_printf("%d") for an already-popped value.
+func (vm *VM) sysPrintIntVal(v int64) {
+	n0 := len(vm.output)
+	vm.output = strconv.AppendInt(vm.output, v, 10)
+	vm.cycles += vm.cost.SysFixed + vm.cost.PrintPerByte*float64(len(vm.output)-n0)
+	vm.pc++
+	vm.checkOutput()
+}
+
+// sysPrintCharVal implements ms_printf("%c") for an already-popped value.
+func (vm *VM) sysPrintCharVal(v int64) {
+	vm.output = append(vm.output, byte(v))
+	vm.cycles += vm.cost.SysFixed + vm.cost.PrintPerByte
+	vm.pc++
+	vm.checkOutput()
 }
 
 func (vm *VM) checkOutput() {

@@ -360,11 +360,11 @@ L:	load 0
 	if prof == nil {
 		t.Fatal("profile must be collected when enabled")
 	}
-	if prof.Ops[OpLoad] != 6 { // 2 loads x 3 iterations
-		t.Fatalf("load count = %d, want 6", prof.Ops[OpLoad])
+	if prof.OpCount(OpLoad) != 6 { // 2 loads x 3 iterations
+		t.Fatalf("load count = %d, want 6", prof.OpCount(OpLoad))
 	}
-	if prof.Builtins[SysArgc] != 1 {
-		t.Fatalf("argc count = %d", prof.Builtins[SysArgc])
+	if prof.BuiltinCount(SysArgc) != 1 {
+		t.Fatalf("argc count = %d", prof.BuiltinCount(SysArgc))
 	}
 	if prof.Total() != vm.Steps() {
 		t.Fatalf("profile total %d != steps %d", prof.Total(), vm.Steps())

@@ -6,23 +6,54 @@ import (
 	"strings"
 )
 
+// numBuiltins covers every defined Builtin; counts for out-of-range ids
+// (corrupt images profile the sys instruction before trapping) spill into
+// a lazily allocated overflow map.
+const numBuiltins = int(SysOutLen) + 1
+
 // Profile is a per-opcode execution histogram, collected when
 // Config.Profile is set. StorageApp authors use it to see where their
 // device cycles go (scan loops vs arithmetic vs emission) — the moral
-// equivalent of a firmware PMU dump.
+// equivalent of a firmware PMU dump. Counts live in fixed arrays indexed
+// by opcode/builtin so the dispatch loop pays an array increment, not a
+// map assign, per profiled instruction.
 type Profile struct {
-	Ops      map[Op]int64
-	Builtins map[Builtin]int64
+	ops      [256]int64
+	builtins [numBuiltins]int64
+	extra    map[Builtin]int64
 }
 
 func newProfile() *Profile {
-	return &Profile{Ops: make(map[Op]int64), Builtins: make(map[Builtin]int64)}
+	return &Profile{}
+}
+
+// noteSys records one execution of the `sys` builtin b.
+func (p *Profile) noteSys(b Builtin) {
+	if b >= 0 && int(b) < numBuiltins {
+		p.builtins[b]++
+		return
+	}
+	if p.extra == nil {
+		p.extra = make(map[Builtin]int64)
+	}
+	p.extra[b]++
+}
+
+// OpCount returns the recorded execution count for op.
+func (p *Profile) OpCount(op Op) int64 { return p.ops[op] }
+
+// BuiltinCount returns the recorded execution count for builtin b.
+func (p *Profile) BuiltinCount(b Builtin) int64 {
+	if b >= 0 && int(b) < numBuiltins {
+		return p.builtins[b]
+	}
+	return p.extra[b]
 }
 
 // Total returns the number of profiled instruction executions.
 func (p *Profile) Total() int64 {
 	var n int64
-	for _, c := range p.Ops {
+	for _, c := range p.ops {
 		n += c
 	}
 	return n
@@ -38,13 +69,18 @@ func (p *Profile) String() string {
 		count int64
 	}
 	var rows []row
-	for op, c := range p.Ops {
-		if op == OpSys {
-			continue // broken out per builtin below
+	for op, c := range p.ops {
+		if c == 0 || Op(op) == OpSys {
+			continue // sys is broken out per builtin below
 		}
-		rows = append(rows, row{Instr{Op: op}.String(), c})
+		rows = append(rows, row{Instr{Op: Op(op)}.String(), c})
 	}
-	for b, c := range p.Builtins {
+	for b, c := range p.builtins {
+		if c > 0 {
+			rows = append(rows, row{"sys " + Builtin(b).String(), c})
+		}
+	}
+	for b, c := range p.extra {
 		rows = append(rows, row{"sys " + b.String(), c})
 	}
 	sort.Slice(rows, func(i, j int) bool {

@@ -64,6 +64,12 @@ type Config struct {
 	// Profile collects a per-opcode execution histogram (small runtime
 	// overhead; off by default).
 	Profile bool
+	// Engine selects the execution engine: the closure-compiled engine
+	// (the default, see compile.go) or the reference interpreter
+	// (EngineInterp). Both produce bit-identical results — output bytes,
+	// cycles, steps, scan counts, traps, profiles — so the choice only
+	// affects host wall-clock.
+	Engine EngineKind
 }
 
 // DefaultConfig matches a controller-class core: 512 KiB D-SRAM with a
@@ -112,6 +118,12 @@ type VM struct {
 	intScans   int64
 	floatScans int64
 	profile    *Profile
+
+	// code is the closure-compiled form of prog (nil under EngineInterp).
+	code *compiledCode
+	// stepLimit is cfg.MaxSteps with 0 mapped to MaxInt64, so the
+	// per-instruction gate is a single compare.
+	stepLimit int64
 }
 
 // NumLocals is the fixed local-slot count per frame; the compiler enforces
@@ -134,6 +146,13 @@ func New(prog *Program, cfg Config, cost CostModel) (*VM, error) {
 	if cfg.Profile {
 		vm.profile = newProfile()
 	}
+	vm.stepLimit = cfg.MaxSteps
+	if vm.stepLimit <= 0 {
+		vm.stepLimit = math.MaxInt64
+	}
+	if cfg.Engine.compiled() {
+		vm.code = compileProgram(prog)
+	}
 	return vm, nil
 }
 
@@ -146,7 +165,12 @@ func (vm *VM) SetArgs(args []int64) { vm.args = args }
 // window occupies bounded D-SRAM.
 func (vm *VM) Feed(data []byte, final bool) error {
 	if vm.inputPos > 0 {
-		vm.input = vm.input[vm.inputPos:]
+		// Compact by copying the unconsumed suffix down in place. Re-slicing
+		// (input = input[inputPos:]) would permanently forfeit the consumed
+		// prefix's capacity, forcing append to regrow the allocation on
+		// every window.
+		n := copy(vm.input, vm.input[vm.inputPos:])
+		vm.input = vm.input[:n]
 		vm.inputPos = 0
 	}
 	vm.input = append(vm.input, data...)
@@ -164,10 +188,15 @@ func (vm *VM) Feed(data []byte, final bool) error {
 }
 
 // DrainOutput returns and clears the buffered output bytes (the firmware
-// DMAs these to the command's destination address).
+// DMAs these to the command's destination address). The returned slice is
+// owned by the caller and never aliased by later emission.
 func (vm *VM) DrainOutput() []byte {
 	out := vm.output
-	vm.output = nil
+	// The drained bytes belong to the caller, so the buffer cannot be
+	// reused in place; start the next accumulation at the high-water
+	// capacity so per-emit appends stop regrowing from zero every drain
+	// cycle.
+	vm.output = make([]byte, 0, cap(out))
 	if vm.state == StateOutputFull || vm.state == StateFlushRequested {
 		vm.state = StateRunnable
 	}
@@ -224,6 +253,28 @@ func (vm *VM) pop() (int64, error) {
 	return v, nil
 }
 
+// pushFrame pushes a fresh call frame. Frames popped by ret leave their
+// locals slices in the slice's backing array, so re-entering that depth
+// zeroes the retained slice instead of allocating a new one — a frame is
+// 512 bytes, and call-heavy apps would otherwise allocate it on every
+// call.
+func (vm *VM) pushFrame(retPC int) {
+	if n := len(vm.frames); n < cap(vm.frames) {
+		vm.frames = vm.frames[:n+1]
+		f := &vm.frames[n]
+		f.retPC = retPC
+		if f.locals == nil {
+			f.locals = make([]int64, NumLocals)
+			return
+		}
+		for i := range f.locals {
+			f.locals[i] = 0
+		}
+		return
+	}
+	vm.frames = append(vm.frames, frame{retPC: retPC, locals: make([]int64, NumLocals)})
+}
+
 func (vm *VM) trap(format string, args ...any) State {
 	vm.state = StateTrapped
 	vm.trapErr = fmt.Errorf(format, args...)
@@ -238,6 +289,9 @@ func (vm *VM) Run() State {
 		return vm.state
 	}
 	vm.state = StateRunnable
+	if vm.code != nil {
+		return vm.runCompiled()
+	}
 	code := vm.prog.Code
 	for {
 		if vm.pc < 0 || vm.pc >= len(code) {
@@ -250,9 +304,9 @@ func (vm *VM) Run() State {
 		vm.steps++
 		vm.cycles += vm.cost.Instr
 		if vm.profile != nil {
-			vm.profile.Ops[ins.Op]++
+			vm.profile.ops[ins.Op]++
 			if ins.Op == OpSys {
-				vm.profile.Builtins[Builtin(ins.Arg)]++
+				vm.profile.noteSys(Builtin(ins.Arg))
 			}
 		}
 		switch ins.Op {
@@ -485,7 +539,7 @@ func (vm *VM) Run() State {
 			}
 		case OpCall:
 			vm.cycles += vm.cost.Call
-			vm.frames = append(vm.frames, frame{retPC: vm.pc + 1, locals: make([]int64, NumLocals)})
+			vm.pushFrame(vm.pc + 1)
 			vm.pc = int(ins.Arg)
 		case OpRet:
 			vm.cycles += vm.cost.Call
