@@ -1,0 +1,221 @@
+// The event-core benchmark suite: steady-state scheduler churn (a pending
+// window of events, each firing one replacement) timed under the
+// hierarchical time wheel and the reference binary heap.
+//
+//	go test -bench 'BenchmarkSimEvents' -run '^$' .
+//
+// BenchmarkSimEventsSuite additionally proves the two schedulers
+// fire-order identical on the same script, measures events/sec and
+// allocs/op over a million-event run, and — when MORPHEUS_BENCH_SIM_OUT
+// names a file — writes a BENCH_sim.json record for CI to archive,
+// mirroring BENCH_vm.json. The wheel's contract is >= 2x the heap's
+// events/sec on the million-event microbench with zero steady-state
+// allocations per event.
+package morpheus
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"morpheus/internal/sim"
+	"morpheus/internal/units"
+)
+
+// simChurn is the benchmark workload: `window` events stay pending, and
+// every fired event schedules one replacement at a pseudo-random offset
+// spanning several wheel levels. After construction the pool and buckets
+// are warm, so the steady state allocates nothing.
+type simChurn struct {
+	eng  *sim.Engine
+	rng  uint64
+	left int
+	fn   func(units.Time)
+}
+
+// delta is a xorshift64 offset in [0, 2^18) ps: dense enough that level-0
+// slots collect neighbours, wide enough that placements span levels 0-3
+// and pops exercise the cascade.
+func (c *simChurn) delta() units.Duration {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return units.Duration(c.rng % (1 << 18))
+}
+
+func newSimChurn(kind sim.EngineKind, window int) *simChurn {
+	c := &simChurn{eng: sim.NewEngineKind(sim.NewClock(), kind), rng: 0x9E3779B97F4A7C15}
+	c.fn = func(now units.Time) {
+		if c.left > 0 {
+			c.left--
+			c.eng.Schedule(now.Add(c.delta()), c.fn)
+		}
+	}
+	for i := 0; i < window; i++ {
+		c.eng.Schedule(c.eng.Clock().Now().Add(c.delta()), c.fn)
+	}
+	// Warm pass: cycle every event through the pool twice so block arena,
+	// free list, and bucket capacities reach steady state before timing.
+	c.fire(2 * window)
+	return c
+}
+
+// fire drives n steady-state event firings (each one schedules a
+// replacement, keeping the pending window full).
+func (c *simChurn) fire(n int) {
+	c.left += n
+	for i := 0; i < n; i++ {
+		c.eng.Step()
+	}
+}
+
+// BenchmarkSimEvents reports standard per-scheduler numbers: ns per fired
+// event and allocs/op at two pending-window sizes.
+func BenchmarkSimEvents(b *testing.B) {
+	for _, kind := range []sim.EngineKind{sim.EngineHeap, sim.EngineWheel} {
+		for _, window := range []int{1 << 10, 1 << 16} {
+			b.Run(fmt.Sprintf("%s/window=%d", kind, window), func(b *testing.B) {
+				c := newSimChurn(kind, window)
+				b.ReportAllocs()
+				b.ResetTimer()
+				c.fire(b.N)
+			})
+		}
+	}
+}
+
+// simFireHash replays a fixed churn script and folds every fire time into
+// a rolling hash: two schedulers that diverge in fire order (time or
+// FIFO-within-time) produce different hashes.
+func simFireHash(kind sim.EngineKind, events int) uint64 {
+	eng := sim.NewEngineKind(sim.NewClock(), kind)
+	var hash uint64 = 14695981039346656037
+	rng := uint64(20160618)
+	var fn func(units.Time)
+	left := events
+	fn = func(now units.Time) {
+		hash = (hash ^ uint64(now)) * 1099511628211
+		if left > 0 {
+			left--
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			// Mix boundary-hugging and wide deltas, including past-horizon
+			// jumps, so the hash covers cascade and overflow behavior.
+			d := rng % (1 << 20)
+			if rng%97 == 0 {
+				d = rng % (1 << 34)
+			}
+			eng.Schedule(now.Add(units.Duration(d)), fn)
+		}
+	}
+	for i := 0; i < 512; i++ {
+		fn(0)
+	}
+	for eng.Step() {
+	}
+	return hash*31 + uint64(eng.Fired())
+}
+
+// simWorkloadResult is one row of the BENCH_sim.json record.
+type simWorkloadResult struct {
+	Name              string  `json:"name"`
+	Events            int64   `json:"events"`         // fired per measurement
+	PendingWindow     int     `json:"pending_window"` // events kept in flight
+	HeapNS            int64   `json:"heap_ns"`        // total wall clock, heap
+	WheelNS           int64   `json:"wheel_ns"`       // total wall clock, wheel
+	HeapEventsPerSec  float64 `json:"heap_events_per_sec"`
+	WheelEventsPerSec float64 `json:"wheel_events_per_sec"`
+	HeapAllocsPerOp   float64 `json:"heap_allocs_per_op"`
+	WheelAllocsPerOp  float64 `json:"wheel_allocs_per_op"`
+	Speedup           float64 `json:"speedup"` // heap_ns / wheel_ns
+}
+
+// simBenchRecord is the BENCH_sim.json schema (documented in
+// EXPERIMENTS.md), mirroring BENCH_vm.json.
+type simBenchRecord struct {
+	NumCPU             int                 `json:"num_cpu"`
+	Workloads          []simWorkloadResult `json:"workloads"`
+	GeomeanSpeedup     float64             `json:"geomean_speedup"`
+	FireOrderIdentical bool                `json:"fire_order_identical"`
+}
+
+// timeSimChurn measures one million-event-class churn run, returning wall
+// clock and heap allocations per fired event.
+func timeSimChurn(kind sim.EngineKind, window, events int) (time.Duration, float64) {
+	c := newSimChurn(kind, window)
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	c.fire(events)
+	dur := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return dur, float64(m1.Mallocs-m0.Mallocs) / float64(events)
+}
+
+// BenchmarkSimEventsSuite runs the differential fire-order check and the
+// timed heap-vs-wheel comparison, publishes the wheel speedup, and writes
+// the optional BENCH_sim.json record.
+func BenchmarkSimEventsSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rec := simBenchRecord{NumCPU: runtime.NumCPU()}
+		wh := simFireHash(sim.EngineWheel, 200_000)
+		hh := simFireHash(sim.EngineHeap, 200_000)
+		rec.FireOrderIdentical = wh == hh
+		if !rec.FireOrderIdentical {
+			b.Errorf("fire-order divergence: wheel hash %x, heap hash %x", wh, hh)
+		}
+		logGeo := 0.0
+		for _, w := range []struct {
+			name   string
+			window int
+			events int
+		}{
+			{"churn-small", 1 << 10, 1_000_000},
+			{"churn-large", 1 << 16, 1_000_000},
+		} {
+			heapNS, heapAllocs := timeSimChurn(sim.EngineHeap, w.window, w.events)
+			wheelNS, wheelAllocs := timeSimChurn(sim.EngineWheel, w.window, w.events)
+			speedup := float64(heapNS) / float64(wheelNS)
+			logGeo += math.Log(speedup)
+			rec.Workloads = append(rec.Workloads, simWorkloadResult{
+				Name:              w.name,
+				Events:            int64(w.events),
+				PendingWindow:     w.window,
+				HeapNS:            heapNS.Nanoseconds(),
+				WheelNS:           wheelNS.Nanoseconds(),
+				HeapEventsPerSec:  float64(w.events) / heapNS.Seconds(),
+				WheelEventsPerSec: float64(w.events) / wheelNS.Seconds(),
+				HeapAllocsPerOp:   heapAllocs,
+				WheelAllocsPerOp:  wheelAllocs,
+				Speedup:           speedup,
+			})
+		}
+		rec.GeomeanSpeedup = math.Exp(logGeo / float64(len(rec.Workloads)))
+		if i > 0 {
+			continue
+		}
+		b.ReportMetric(rec.GeomeanSpeedup, "wheel-x")
+		if testing.Verbose() {
+			for _, w := range rec.Workloads {
+				b.Logf("%-12s %11.0f ev/s -> %11.0f ev/s  %.2fx  allocs/op %.4f -> %.4f",
+					w.Name, w.HeapEventsPerSec, w.WheelEventsPerSec, w.Speedup,
+					w.HeapAllocsPerOp, w.WheelAllocsPerOp)
+			}
+		}
+		if path := os.Getenv("MORPHEUS_BENCH_SIM_OUT"); path != "" {
+			data, err := json.MarshalIndent(rec, "", " ")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -25,6 +25,11 @@
 // metrics, traces — is byte-identical under either engine; only host
 // wall-clock differs.
 //
+// -sim-engine selects the discrete-event scheduler the same way: "wheel"
+// (the default hierarchical time wheel, built for million-event runs) or
+// "heap" (the reference binary heap, the differential battery's oracle).
+// Fire order and every simulated result are byte-identical under either.
+//
 // -trace-out writes a Chrome trace-event JSON (load it at
 // https://ui.perfetto.dev or chrome://tracing); -metrics-out writes the
 // aggregated metrics registry, as Prometheus text by default or as JSON
@@ -46,6 +51,7 @@ import (
 	"morpheus/internal/core"
 	"morpheus/internal/exp"
 	"morpheus/internal/mvm"
+	"morpheus/internal/sim"
 	"morpheus/internal/stats"
 	"morpheus/internal/trace"
 	"morpheus/internal/units"
@@ -228,6 +234,7 @@ func main() {
 		ssdCache   = flag.Bool("ssd-cache", false, "enable the SSD-DRAM deserialized-object cache in every experiment (extension beyond the paper)")
 		ssdCacheMB = flag.Int("ssd-cache-mb", 0, "object-cache capacity in MiB (implies -ssd-cache; 0 = the 64MiB default)")
 		mvmEngine  = flag.String("mvm-engine", "compiled", "embedded-core execution engine: compiled or interp (bit-identical results; compiled is faster in host wall-clock)")
+		simEngine  = flag.String("sim-engine", "wheel", "discrete-event scheduler: wheel (hierarchical time wheel, the default) or heap (reference binary heap); bit-identical results, wheel is faster in host wall-clock")
 	)
 	flag.Parse()
 	exps := experiments()
@@ -247,6 +254,12 @@ func main() {
 		os.Exit(2)
 	}
 	opts.MVMEngine = eng
+	simEng, err := sim.ParseEngineKind(*simEngine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "morpheusbench: %v\n", err)
+		os.Exit(2)
+	}
+	opts.SimEngine = simEng
 	if *ssdCache || *ssdCacheMB > 0 {
 		mb := *ssdCacheMB
 		opts.Mutate = func(cfg *core.SystemConfig) {

@@ -113,11 +113,32 @@ func (d *Driver) SubmitAsync(ready units.Time, ctx *ssd.CmdContext) (Pending, un
 	}
 	d.inflight++
 	comp, done := d.sys.SSD.Submit(tCPU, ctx)
-	if err := d.qp.Complete(comp.CID, comp.Status, comp.Result); err != nil {
-		return Pending{}, tCPU, err
-	}
-	if _, err := d.qp.CQ.Reap(); err != nil {
-		return Pending{}, tCPU, err
+	// Interrupt delivery: posting the CQE and reaping it is an engine event
+	// at the device completion time, delivered when the host waits for the
+	// command — or lazily, by a later dispatch draining past it. The
+	// post/reap pair is net-zero ring occupancy, so deferral can neither
+	// fill the CQ nor change any result; a failure here is a broken model
+	// invariant, not a recoverable condition.
+	if eng := d.sys.Engine; eng != nil {
+		at := done
+		if now := eng.Clock().Now(); at < now {
+			at = now
+		}
+		eng.Schedule(at, func(units.Time) {
+			if err := d.qp.Complete(comp.CID, comp.Status, comp.Result); err != nil {
+				panic(fmt.Sprintf("core: completion post: %v", err))
+			}
+			if _, err := d.qp.CQ.Reap(); err != nil {
+				panic(fmt.Sprintf("core: completion reap: %v", err))
+			}
+		})
+	} else {
+		if err := d.qp.Complete(comp.CID, comp.Status, comp.Result); err != nil {
+			return Pending{}, tCPU, err
+		}
+		if _, err := d.qp.CQ.Reap(); err != nil {
+			return Pending{}, tCPU, err
+		}
 	}
 	return Pending{CID: cid, Comp: comp, Done: done, Submitted: ready, Op: ctx.Cmd.Opcode, Span: span}, tCPU, nil
 }
@@ -134,6 +155,11 @@ func (d *Driver) reaped(p Pending) {
 // charging the context switches and interrupt of a blocking wait plus the
 // completion-reaping CPU work, and returns the completion.
 func (d *Driver) Wait(ready units.Time, p Pending) (nvme.Completion, units.Time) {
+	// The command's completion interrupt (and any earlier ones still
+	// queued) fires now that the host observes the completion.
+	if eng := d.sys.Engine; eng != nil {
+		eng.RunUntil(p.Done)
+	}
 	var t units.Time
 	if p.Done > ready {
 		t = d.sys.Host.BlockingWait(ready, p.Done)
@@ -171,6 +197,10 @@ func (d *Driver) WaitBatch(ready units.Time, ps []Pending) ([]nvme.Completion, u
 		if p.Done > latest {
 			latest = p.Done
 		}
+	}
+	// One interrupt-delivery drain for the whole batch.
+	if eng := d.sys.Engine; eng != nil {
+		eng.RunUntil(latest)
 	}
 	t := ready
 	if latest > ready {

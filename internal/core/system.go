@@ -13,6 +13,7 @@ import (
 	"morpheus/internal/host"
 	"morpheus/internal/nvme"
 	"morpheus/internal/pcie"
+	"morpheus/internal/sim"
 	"morpheus/internal/ssd"
 	"morpheus/internal/stats"
 	"morpheus/internal/trace"
@@ -37,6 +38,11 @@ type SystemConfig struct {
 	// BatchDepth is how many MREAD commands the Morpheus runtime keeps in
 	// flight before blocking for completions.
 	BatchDepth int
+	// SimEngine selects the discrete-event engine implementation that runs
+	// command dispatch and interrupt delivery. The zero value is the
+	// hierarchical time wheel; sim.EngineHeap selects the reference heap,
+	// kept for byte-identity cross-checks.
+	SimEngine sim.EngineKind
 }
 
 // DefaultSystemConfig matches §VI-A.
@@ -77,6 +83,11 @@ type System struct {
 	SSD      *ssd.Controller
 	GPU      *gpu.GPU
 	Driver   *Driver
+	// Engine is the discrete-event loop that orders the SSD firmware
+	// dispatch and host interrupt delivery of this system. Each system owns
+	// its engine outright, which is what keeps -parallel sweeps race-free
+	// and byte-identical to sequential runs.
+	Engine *sim.Engine
 	// Identify is the controller's Identify page, fetched by the driver
 	// at attach time — how the runtime learns the device speaks Morpheus
 	// and what its transfer/working-set limits are.
@@ -117,6 +128,8 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if cfg.WithGPU {
 		sys.GPU = gpu.New(cfg.GPU, fabric)
 	}
+	sys.Engine = sim.NewEngineKind(sim.NewClock(), cfg.SimEngine)
+	ctrl.SetEngine(sys.Engine)
 	sys.Driver = NewDriver(sys, 1024)
 	id, _, err := sys.Driver.Identify(0)
 	if err != nil {
@@ -196,6 +209,7 @@ func (s *System) ResetTimers() {
 		s.replica.Reset()
 	}
 	s.Driver.ResetTimers()
+	s.Engine.Reset()
 	s.Metrics.Reset()
 }
 

@@ -16,6 +16,7 @@ import (
 	"morpheus/internal/core"
 	"morpheus/internal/flash"
 	"morpheus/internal/mvm"
+	"morpheus/internal/sim"
 	"morpheus/internal/stats"
 	"morpheus/internal/trace"
 	"morpheus/internal/units"
@@ -53,6 +54,11 @@ type Options struct {
 	// simulated result — tables, metrics, traces — so this only changes
 	// host wall-clock.
 	MVMEngine mvm.EngineKind
+	// SimEngine selects the discrete-event scheduler implementation
+	// (default: the hierarchical time wheel; sim.EngineHeap is the
+	// reference oracle). As with MVMEngine, both are byte-identical in
+	// every simulated result.
+	SimEngine sim.EngineKind
 }
 
 // observe wires the experiment-wide tracer into a freshly staged system.
@@ -93,6 +99,7 @@ func buildSystem(o Options, withGPU bool) (*core.System, error) {
 	if o.MVMEngine != mvm.EngineDefault {
 		cfg.SSD.VM.Engine = o.MVMEngine
 	}
+	cfg.SimEngine = o.SimEngine
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"morpheus/internal/mvm"
+	"morpheus/internal/sim"
 	"morpheus/internal/stats"
 	"morpheus/internal/trace"
 )
@@ -24,12 +25,19 @@ type tabler interface{ Table() *Table }
 var parallelCases = []struct {
 	name  string
 	heavy bool
+	// scale overrides the suite's default input scale (0 keeps it). The
+	// high-event-count row runs enough simulated time that the time wheel
+	// must cascade across every level and spill past its horizon into the
+	// overflow/rebase path (see TestEngineOverflowOnRealWorkload in
+	// internal/core for the proof that this regime is reached).
+	scale float64
 	run   func(Options) (tabler, error)
 }{
-	{"fig8", false, func(o Options) (tabler, error) { return RunFig8(o) }},
-	{"fig9", false, func(o Options) (tabler, error) { return RunFig9(o) }},
-	{"faults", true, func(o Options) (tabler, error) { return RunFaults(o) }},
-	{"cachesweep", false, func(o Options) (tabler, error) { return RunCachesweep(o) }},
+	{"fig8", false, 0, func(o Options) (tabler, error) { return RunFig8(o) }},
+	{"fig9", false, 0, func(o Options) (tabler, error) { return RunFig9(o) }},
+	{"faults", true, 0, func(o Options) (tabler, error) { return RunFaults(o) }},
+	{"cachesweep", false, 0, func(o Options) (tabler, error) { return RunCachesweep(o) }},
+	{"fig8-hi", true, 1.0 / 1024, func(o Options) (tabler, error) { return RunFig8(o) }},
 }
 
 // observedRun executes one experiment with a tracer and registry wired in
@@ -72,6 +80,9 @@ func TestParallelMatchesSequential(t *testing.T) {
 				// keep the 3-experiment × 3-seed × 2-run matrix affordable
 				// under -race.
 				o.Scale = 1.0 / 8192
+				if tc.scale != 0 {
+					o.Scale = tc.scale
+				}
 				o.Seed = seed
 				o.MVMEngine = mvm.EngineCompiled
 
@@ -104,6 +115,23 @@ func TestParallelMatchesSequential(t *testing.T) {
 					if !reflect.DeepEqual(intEvents, seqEvents) {
 						t.Errorf("interp engine trace diverged: %d compiled events vs %d interp",
 							len(seqEvents), len(intEvents))
+					}
+
+					// Engine-swap cross-check: the reference heap scheduler
+					// must reproduce the time-wheel run byte for byte — the
+					// system-level arm of the differential scheduler battery.
+					o.MVMEngine = mvm.EngineCompiled
+					o.SimEngine = sim.EngineHeap
+					heapTable, heapJSON, heapEvents := observedRun(t, tc.run, o)
+					if heapTable != seqTable {
+						t.Errorf("heap scheduler table diverged:\nwheel:\n%s\nheap:\n%s", seqTable, heapTable)
+					}
+					if !bytes.Equal(heapJSON, seqJSON) {
+						t.Errorf("heap scheduler metrics JSON diverged:\nwheel:\n%s\nheap:\n%s", seqJSON, heapJSON)
+					}
+					if !reflect.DeepEqual(heapEvents, seqEvents) {
+						t.Errorf("heap scheduler trace diverged: %d wheel events vs %d heap",
+							len(seqEvents), len(heapEvents))
 					}
 				}
 			})

@@ -1,106 +1,213 @@
 package sim
 
 import (
-	"container/heap"
+	"fmt"
+	"math"
 
 	"morpheus/internal/units"
 )
 
-// Event is a callback scheduled at a simulated time. Events fire in time
-// order; ties fire in scheduling order, which keeps runs deterministic.
-type Event struct {
-	At  units.Time
-	Fn  func(now units.Time)
-	seq int64
-	idx int
-}
+// EngineKind selects the event-queue implementation backing an Engine.
+type EngineKind int
 
-type eventHeap []*Event
+const (
+	// EngineWheel is the hierarchical time wheel (the default): amortized
+	// O(1) schedule/fire and allocation-free steady state, built for
+	// million-event runs. See wheel.go for the determinism argument.
+	EngineWheel EngineKind = iota
+	// EngineHeap is the retained binary-heap implementation, kept as the
+	// reference oracle of the differential scheduler battery. Fire order is
+	// identical to the wheel by contract: (time, scheduling seq).
+	EngineHeap
+)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// String names the kind.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineWheel:
+		return "wheel"
+	case EngineHeap:
+		return "heap"
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx, h[j].idx = i, j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	e.idx = -1
-	return e
+	return fmt.Sprintf("EngineKind(%d)", int(k))
 }
 
-// Engine is a small discrete-event loop for agents that need ordered
-// interleaving (the SSD firmware loop, interrupt delivery). Most models use
-// Resource/Pipe directly; the Engine exists for the cases where ordering
-// between independent agents matters.
+// ParseEngineKind resolves a -sim-engine flag value.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "", "wheel":
+		return EngineWheel, nil
+	case "heap":
+		return EngineHeap, nil
+	}
+	return EngineWheel, fmt.Errorf("sim: unknown engine kind %q (want wheel or heap)", s)
+}
+
+// Event is one scheduled callback. Events live in a per-engine pool and
+// are recycled after they fire or are cancelled, so steady-state
+// scheduling allocates nothing; external code holds them only through
+// generation-tagged Handles.
+type Event struct {
+	at  units.Time
+	seq int64
+	fn  func(now units.Time)
+	// gen invalidates stale Handles: it is bumped every time the event
+	// returns to the pool, so a Handle to a fired/cancelled event can never
+	// touch the slot's next occupant.
+	gen uint32
+	// Queue location. The heap uses idx alone; the wheel uses all three
+	// (lvl == wheelOverflowLvl places idx into the overflow list).
+	lvl  int8
+	slot uint8
+	idx  int32
+}
+
+// Handle identifies one scheduled event. The zero Handle is inert, and a
+// Handle outlives its event safely: once the event fires or is cancelled
+// the handle goes stale and every operation on it is a no-op.
+type Handle struct {
+	ev  *Event
+	gen uint32
+}
+
+// Pending reports whether the handle still names a queued event.
+func (h Handle) Pending() bool { return h.ev != nil && h.ev.gen == h.gen }
+
+// eventQueue is the pluggable priority queue behind an Engine. The
+// ordering contract both implementations obey exactly: popAtMost returns
+// events in (time, then scheduling seq) order.
+type eventQueue interface {
+	push(*Event)
+	// popAtMost removes and returns the earliest event if its time is <=
+	// limit, else nil (leaving the queue untouched as far as ordering is
+	// concerned).
+	popAtMost(limit units.Time) *Event
+	// remove unlinks a queued event, reporting whether it was present.
+	remove(*Event) bool
+	len() int
+	// reset drops every queued event, passing each to recycle.
+	reset(recycle func(*Event))
+}
+
+// eventPool is a block arena plus free list: events are handed out and
+// recycled without per-event allocation once the blocks are warm.
+type eventPool struct {
+	blocks [][]Event
+	free   []*Event
+}
+
+const eventPoolBlock = 256
+
+func (p *eventPool) get() *Event {
+	if len(p.free) == 0 {
+		blk := make([]Event, eventPoolBlock)
+		p.blocks = append(p.blocks, blk)
+		for i := range blk {
+			p.free = append(p.free, &blk[i])
+		}
+	}
+	ev := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return ev
+}
+
+func (p *eventPool) put(ev *Event) {
+	ev.gen++    // invalidate every outstanding Handle
+	ev.fn = nil // release the closure promptly
+	p.free = append(p.free, ev)
+}
+
+// Engine is the discrete-event loop for agents that need ordered
+// interleaving: the NVMe command dispatch of the SSD firmware loop and
+// host-side interrupt delivery run on it, and the big traffic campaigns
+// push it to millions of events. Fire order is time, then scheduling
+// order, which keeps runs deterministic regardless of the backing queue.
 type Engine struct {
-	clock  *Clock
-	events eventHeap
-	seq    int64
-	fired  int64
+	clock *Clock
+	kind  EngineKind
+	q     eventQueue
+	pool  eventPool
+	seq   int64
+	fired int64
 }
 
-// NewEngine returns an engine driving the given clock.
-func NewEngine(clock *Clock) *Engine {
-	return &Engine{clock: clock}
+// NewEngine returns a time-wheel engine driving the given clock.
+func NewEngine(clock *Clock) *Engine { return NewEngineKind(clock, EngineWheel) }
+
+// NewEngineKind returns an engine backed by the chosen queue
+// implementation. Both kinds are byte-identical in fire order and times;
+// the heap exists as the differential battery's oracle.
+func NewEngineKind(clock *Clock, kind EngineKind) *Engine {
+	e := &Engine{clock: clock, kind: kind}
+	switch kind {
+	case EngineHeap:
+		e.q = &heapQueue{}
+	default:
+		e.kind = EngineWheel
+		e.q = newWheelQueue()
+	}
+	return e
 }
 
 // Clock returns the engine's clock.
 func (e *Engine) Clock() *Clock { return e.clock }
 
+// Kind reports the backing queue implementation.
+func (e *Engine) Kind() EngineKind { return e.kind }
+
 // Schedule queues fn to run at time at. Scheduling in the past (before the
 // clock's current time) panics.
-func (e *Engine) Schedule(at units.Time, fn func(now units.Time)) *Event {
+func (e *Engine) Schedule(at units.Time, fn func(now units.Time)) Handle {
 	if at < e.clock.Now() {
 		panic("sim: scheduling event in the past")
 	}
 	e.seq++
-	ev := &Event{At: at, Fn: fn, seq: e.seq}
-	heap.Push(&e.events, ev)
-	return ev
+	ev := e.pool.get()
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	e.q.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // ScheduleAfter queues fn to run d after the current time.
-func (e *Engine) ScheduleAfter(d units.Duration, fn func(now units.Time)) *Event {
+func (e *Engine) ScheduleAfter(d units.Duration, fn func(now units.Time)) Handle {
 	return e.Schedule(e.clock.Now().Add(d), fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or already-
-// cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.idx < 0 || ev.idx >= len(e.events) || e.events[ev.idx] != ev {
+// Cancel removes a pending event. Cancelling an already-fired, already-
+// cancelled, or zero handle is a no-op — the generation tag makes a stale
+// handle inert even after its Event struct was recycled for a new event.
+func (e *Engine) Cancel(h Handle) {
+	if h.ev == nil || h.ev.gen != h.gen {
 		return
 	}
-	heap.Remove(&e.events, ev.idx)
+	if e.q.remove(h.ev) {
+		e.pool.put(h.ev)
+	}
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.len() }
+
+// fire advances the clock to the event and runs it. The event returns to
+// the pool before the callback runs, so a callback that schedules new
+// work reuses it immediately (and a callback cancelling its own handle is
+// a no-op, as the generation already moved on).
+func (e *Engine) fire(ev *Event) {
+	e.clock.AdvanceTo(ev.at)
+	e.fired++
+	fn, at := ev.fn, ev.at
+	e.pool.put(ev)
+	fn(at)
+}
 
 // Step fires the earliest event, advancing the clock to its time. It
 // reports false if no events are pending.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	ev := e.q.popAtMost(units.Time(math.MaxInt64))
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*Event)
-	e.clock.AdvanceTo(ev.At)
-	e.fired++
-	ev.Fn(ev.At)
+	e.fire(ev)
 	return true
 }
 
@@ -115,13 +222,39 @@ func (e *Engine) Run() int64 {
 // RunUntil fires events with time <= deadline, advancing the clock to the
 // deadline afterwards.
 func (e *Engine) RunUntil(deadline units.Time) {
-	for len(e.events) > 0 && e.events[0].At <= deadline {
-		e.Step()
+	for {
+		ev := e.q.popAtMost(deadline)
+		if ev == nil {
+			break
+		}
+		e.fire(ev)
 	}
 	if e.clock.Now() < deadline {
 		e.clock.AdvanceTo(deadline)
 	}
 }
 
-// Fired reports the total number of events fired.
+// Fired reports the total number of events fired since creation or Reset.
 func (e *Engine) Fired() int64 { return e.fired }
+
+// Overflowed reports how many placements landed beyond the wheel's
+// horizon since creation or Reset (always zero on the heap engine). Tests
+// use it to prove a workload drove the overflow cascade, not just the
+// in-window fast path.
+func (e *Engine) Overflowed() int64 {
+	if w, ok := e.q.(*wheelQueue); ok {
+		return w.overflowed
+	}
+	return 0
+}
+
+// Reset discards every pending event and rewinds the engine — clock,
+// scheduling sequence, fired counter — for a fresh run, keeping the event
+// pool and bucket capacity warm. It is part of the ResetTimers boundary
+// between experiment setup and measurement.
+func (e *Engine) Reset() {
+	e.q.reset(e.pool.put)
+	e.clock.Reset()
+	e.seq = 0
+	e.fired = 0
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"morpheus/internal/units"
+)
+
+// FuzzEngineSchedule decodes an arbitrary byte stream into scheduler
+// operations and replays them against both the time wheel and the
+// reference heap, failing on any divergence in fire sequence, clock,
+// pending count, or handle state. It rides alongside the NVMe and MorphC
+// fuzzers in the CI fuzz smoke job.
+func FuzzEngineSchedule(f *testing.F) {
+	// Seeds: empty, a plain schedule/step mix, boundary deltas around a
+	// level-1 slot and the wheel horizon, cancels, and a RunUntil drain.
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x40, 0x00, 0x00, 0x02, 0x02})
+	f.Add([]byte{0x00, 0x3f, 0x00, 0x41, 0x00, 0x40, 0x03, 0xff})
+	f.Add([]byte{0x80, 0xff, 0xff, 0xff, 0xff, 0x00, 0x01, 0x01, 0x00, 0x02})
+	f.Add([]byte{0x00, 0x10, 0x01, 0x00, 0x01, 0x00, 0x04})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := newDiffHarness(t)
+		steps := 0
+		for len(data) > 0 && steps < 4096 {
+			steps++
+			op := data[0]
+			data = data[1:]
+			switch op & 0x07 {
+			case 0, 1: // schedule at now + delta (delta from the next bytes)
+				var delta uint64
+				switch {
+				case op&0x80 != 0 && len(data) >= 4:
+					// Wide delta: reaches higher levels and overflow.
+					delta = uint64(binary.LittleEndian.Uint32(data)) << 16
+					data = data[4:]
+				case len(data) >= 1:
+					delta = uint64(data[0])
+					data = data[1:]
+				}
+				d.schedule(d.wheel.Clock().Now().Add(units.Duration(delta)))
+			case 2:
+				d.step()
+			case 3: // cancel an arbitrary handle
+				if len(data) >= 1 {
+					d.cancel(int(data[0]))
+					data = data[1:]
+				}
+			case 4:
+				d.run()
+			default: // run until now + delta
+				var delta uint64
+				if len(data) >= 2 {
+					delta = uint64(binary.LittleEndian.Uint16(data)) << uint(op>>5)
+					data = data[2:]
+				}
+				d.runUntil(d.wheel.Clock().Now().Add(units.Duration(delta)))
+			}
+		}
+		d.run()
+	})
+}

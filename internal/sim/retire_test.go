@@ -95,6 +95,22 @@ func TestRetireViolationPanics(t *testing.T) {
 	r.Acquire(50, 10)
 }
 
+// TestRetireZeroDurationViolationPanics pins the d==0 fast-path fix: a
+// zero-duration acquire used to return before the watermark check, so a
+// ready time behind the Retire floor silently succeeded instead of
+// panicking like every other acquire.
+func TestRetireZeroDurationViolationPanics(t *testing.T) {
+	r := NewResource("r")
+	r.Acquire(0, 10)
+	r.Retire(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-duration Acquire before the watermark must panic")
+		}
+	}()
+	r.Acquire(50, 0)
+}
+
 func TestRetireIsMonotone(t *testing.T) {
 	r := NewResource("r")
 	r.Acquire(0, 10)

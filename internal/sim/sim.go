@@ -1,7 +1,9 @@
 // Package sim provides the transaction-level simulation substrate used by
 // every hardware model in the repository: a virtual clock, interval-ledger
-// resources with earliest-gap placement, bandwidth pipes, and a small
-// discrete-event queue for agents that need ordered interleaving.
+// resources with earliest-gap placement, bandwidth pipes, and a
+// discrete-event engine — a hierarchical time wheel with pooled,
+// allocation-free events (a binary-heap reference kept as the
+// differential oracle) — for agents that need ordered interleaving.
 //
 // The central abstraction is the Resource: a serially-reusable unit (a CPU
 // core, a flash channel, a DMA engine, a PCIe link) whose occupancy is an
@@ -88,6 +90,11 @@ func (r *Resource) Acquire(ready units.Time, d units.Duration) (start, end units
 	}
 	r.acquires++
 	if d == 0 {
+		// Zero-duration acquires never queue, but they are still bound by
+		// the Retire contract like every other acquire.
+		if ready < r.watermark {
+			panic(fmt.Sprintf("sim: %s: ready time %v precedes the Retire watermark %v", r.name, ready, r.watermark))
+		}
 		return ready, ready
 	}
 	start = r.EarliestStart(ready, d)
@@ -103,6 +110,12 @@ func (r *Resource) Acquire(ready units.Time, d units.Duration) (start, end units
 func (r *Resource) EarliestStart(ready units.Time, d units.Duration) units.Time {
 	if ready < r.watermark {
 		panic(fmt.Sprintf("sim: %s: ready time %v precedes the Retire watermark %v", r.name, ready, r.watermark))
+	}
+	// Tail fast path: most acquires land at or after everything recorded
+	// (monotone ready times on an uncontended resource), where no gap
+	// search is needed.
+	if ready >= r.lastEnd {
+		return ready
 	}
 	// Find the first interval that ends after ready.
 	i := sort.Search(len(r.intervals), func(i int) bool { return r.intervals[i].end > ready })
@@ -123,6 +136,15 @@ func (r *Resource) EarliestStart(ready units.Time, d units.Duration) units.Time 
 func (r *Resource) insert(iv interval) {
 	if iv.end > r.lastEnd {
 		r.lastEnd = iv.end
+	}
+	// Tail fast path: an interval starting at or after the last recorded
+	// end appends (or extends the tail) without the binary search + shift.
+	if n := len(r.intervals); n == 0 || iv.start > r.intervals[n-1].end {
+		r.intervals = append(r.intervals, iv)
+		return
+	} else if iv.start == r.intervals[n-1].end {
+		r.intervals[n-1].end = iv.end
+		return
 	}
 	i := sort.Search(len(r.intervals), func(i int) bool { return r.intervals[i].start >= iv.start })
 	// Coalesce with predecessor.

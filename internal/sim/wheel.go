@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+
+	"morpheus/internal/units"
+)
+
+// wheelQueue is a hierarchical time wheel (calendar queue): wheelLevels
+// levels of wheelSlots buckets each, where a level-l slot spans
+// wheelSlots^l ticks. An event at time t goes into the lowest level whose
+// window around the cursor contains t; events beyond the top level's
+// horizon (wheelSlots^wheelLevels ticks ≈ 1.07 ms of picosecond sim time)
+// live in an unsorted overflow list that is rebased into the wheel when
+// the cursor catches up. The horizon is sized so the slot arrays stay
+// small and cache-resident while still covering the in-flight window of
+// any real workload (tens of microseconds of pending command/interrupt
+// events); millisecond-scale runs routinely cross horizon boundaries, so
+// the overflow path is ordinary, exercised behavior rather than a rare
+// corner.
+//
+// Determinism argument. Level-0 slots span exactly one tick, so every
+// event in a level-0 slot shares the same fire time and a min-seq linear
+// scan of the slot yields the (time, seq) minimum — no sorting, no
+// insertion-order dependence. Any event at a higher level or in overflow
+// is strictly later than every event reachable at level 0 (it lies
+// outside the cursor's level-0 window, and placement windows nest), so
+// popping always drains the earliest slot first. Cascading moves a
+// higher-level bucket's events into strictly lower levels without
+// reordering decisions: placement depends only on (t, cursor), never on
+// arrival order. The popAtMost(limit) contract keeps the cursor at or
+// below every returned fire time and never advances it past limit, so the
+// engine's invariant cursor <= clock.Now() holds between calls and a
+// fresh Schedule at the clock's current time can never land behind the
+// cursor.
+type wheelQueue struct {
+	cur    units.Time
+	bucket [wheelLevels][wheelSlots][]*Event
+	count  [wheelLevels]int
+	over   []*Event
+	n      int
+	// overflowed counts placements that landed beyond the horizon, for
+	// tests that must prove a workload exercised the overflow/rebase path.
+	overflowed int64
+}
+
+const (
+	wheelSlotBits = 6
+	wheelSlots    = 1 << wheelSlotBits
+	wheelLevels   = 5
+	// wheelOverflowLvl marks events parked in the overflow list.
+	wheelOverflowLvl = int8(-1)
+)
+
+func newWheelQueue() *wheelQueue { return &wheelQueue{} }
+
+func (w *wheelQueue) len() int { return w.n }
+
+func (w *wheelQueue) push(ev *Event) {
+	w.place(ev)
+	w.n++
+}
+
+// place files ev by (ev.at, w.cur) alone. Precondition: ev.at >= w.cur.
+func (w *wheelQueue) place(ev *Event) {
+	t := int64(ev.at)
+	c := int64(w.cur)
+	for l := 0; l < wheelLevels; l++ {
+		if t>>uint((l+1)*wheelSlotBits) == c>>uint((l+1)*wheelSlotBits) {
+			s := (t >> uint(l*wheelSlotBits)) & (wheelSlots - 1)
+			b := w.bucket[l][s]
+			ev.lvl, ev.slot, ev.idx = int8(l), uint8(s), int32(len(b))
+			w.bucket[l][s] = append(b, ev)
+			w.count[l]++
+			return
+		}
+	}
+	ev.lvl, ev.idx = wheelOverflowLvl, int32(len(w.over))
+	w.over = append(w.over, ev)
+	w.overflowed++
+}
+
+// unlink removes ev from its bucket or the overflow list, swap-filling the
+// hole and fixing the moved event's index.
+func (w *wheelQueue) unlink(ev *Event) {
+	if ev.lvl == wheelOverflowLvl {
+		last := len(w.over) - 1
+		w.over[ev.idx] = w.over[last]
+		w.over[ev.idx].idx = ev.idx
+		w.over[last] = nil
+		w.over = w.over[:last]
+	} else {
+		b := w.bucket[ev.lvl][ev.slot]
+		last := len(b) - 1
+		b[ev.idx] = b[last]
+		b[ev.idx].idx = ev.idx
+		b[last] = nil
+		w.bucket[ev.lvl][ev.slot] = b[:last]
+		w.count[ev.lvl]--
+	}
+	w.n--
+}
+
+func (w *wheelQueue) remove(ev *Event) bool {
+	switch {
+	case ev.lvl == wheelOverflowLvl:
+		if int(ev.idx) >= len(w.over) || w.over[ev.idx] != ev {
+			return false
+		}
+	case ev.lvl >= 0 && ev.lvl < wheelLevels:
+		b := w.bucket[ev.lvl][ev.slot]
+		if int(ev.idx) >= len(b) || b[ev.idx] != ev {
+			return false
+		}
+	default:
+		return false
+	}
+	w.unlink(ev)
+	return true
+}
+
+func (w *wheelQueue) popAtMost(limit units.Time) *Event {
+	if w.n == 0 {
+		return nil
+	}
+	for {
+		if w.count[0] > 0 {
+			// The cursor's level-0 window holds the earliest events; the
+			// first nonempty slot at or after the cursor's is the minimum
+			// time, and min-seq within it is the (time, seq) minimum.
+			for s := int(int64(w.cur) & (wheelSlots - 1)); s < wheelSlots; s++ {
+				b := w.bucket[0][s]
+				if len(b) == 0 {
+					continue
+				}
+				if b[0].at > limit {
+					return nil
+				}
+				mi := 0
+				for i := 1; i < len(b); i++ {
+					if b[i].seq < b[mi].seq {
+						mi = i
+					}
+				}
+				ev := b[mi]
+				w.unlink(ev)
+				w.cur = ev.at
+				return ev
+			}
+			panic("sim: time wheel level-0 count desynced from buckets")
+		}
+		// Level 0 drained: cascade the first nonempty slot of the lowest
+		// occupied level down, or rebase the overflow list.
+		l := 1
+		for ; l < wheelLevels; l++ {
+			if w.count[l] > 0 {
+				break
+			}
+		}
+		if l == wheelLevels {
+			ev := w.overflowMin()
+			if ev.at > limit {
+				return nil
+			}
+			// Rebase: jump the cursor to the overflow minimum and re-place
+			// everything; events still out of window return to overflow.
+			w.cur = ev.at
+			old := w.over
+			w.over = nil
+			for i, oev := range old {
+				old[i] = nil
+				w.place(oev)
+			}
+			continue
+		}
+		base := int64(w.cur) >> uint(l*wheelSlotBits)
+		s := int(base & (wheelSlots - 1))
+		for ; s < wheelSlots; s++ {
+			if len(w.bucket[l][s]) > 0 {
+				break
+			}
+		}
+		if s == wheelSlots {
+			panic(fmt.Sprintf("sim: time wheel level-%d count desynced from buckets", l))
+		}
+		winStart := units.Time(((base &^ (wheelSlots - 1)) | int64(s)) << uint(l*wheelSlotBits))
+		if winStart > limit {
+			return nil
+		}
+		if winStart > w.cur {
+			w.cur = winStart
+		}
+		// Every event here shares the cursor's new level-l window, so each
+		// re-places at a strictly lower level: the cascade terminates.
+		b := w.bucket[l][s]
+		w.bucket[l][s] = b[:0]
+		w.count[l] -= len(b)
+		for i, ev := range b {
+			b[i] = nil
+			w.place(ev)
+		}
+	}
+}
+
+// overflowMin scans the overflow list for its (time, seq) minimum.
+func (w *wheelQueue) overflowMin() *Event {
+	mi := 0
+	for i := 1; i < len(w.over); i++ {
+		a, m := w.over[i], w.over[mi]
+		if a.at < m.at || (a.at == m.at && a.seq < m.seq) {
+			mi = i
+		}
+	}
+	return w.over[mi]
+}
+
+func (w *wheelQueue) reset(recycle func(*Event)) {
+	for l := range w.bucket {
+		for s := range w.bucket[l] {
+			b := w.bucket[l][s]
+			for i, ev := range b {
+				b[i] = nil
+				recycle(ev)
+			}
+			w.bucket[l][s] = b[:0]
+		}
+		w.count[l] = 0
+	}
+	for i, ev := range w.over {
+		w.over[i] = nil
+		recycle(ev)
+	}
+	w.over = w.over[:0]
+	w.cur = 0
+	w.n = 0
+	w.overflowed = 0
+}
