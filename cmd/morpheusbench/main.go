@@ -35,6 +35,29 @@
 // aggregated metrics registry, as Prometheus text by default or as JSON
 // when the file name ends in .json.
 //
+// -trace-stream (default true) streams trace events to the -trace-out
+// file incrementally through an external-sort spool, so trace memory
+// stays bounded on long runs; the output is byte-identical to the
+// buffered path. -trace-sample enables tail sampling
+// ("head=64,lat=10ms,pending=4096,keep=fallback|retry"): a
+// deterministic head of events is kept plus every command tree that
+// crossed the latency threshold, carried a keep-name marker, or hit a
+// retry/timeout/fault/degraded path; everything else is discarded.
+//
+// -metrics-window enables windowed time-series collection (counters,
+// latency quantiles, gauges per fixed virtual-time window);
+// -timeseries-out writes the series as JSON (.json), CSV (.csv), or
+// OpenMetrics text with timestamps (anything else). -slo declares a
+// latency objective ("name=gold,metric=nvme.MREAD.latency_ps,
+// target=2ms,budget=0.001") tracked per window; its burn rate and
+// time in violation land in both artifacts. The name scopes the
+// objective to one tenant (an application name, as in multiprog); ""
+// or "*" applies everywhere. All of these artifacts are byte-identical
+// at any -parallel setting and under either -sim-engine.
+//
+// cmd/morpheuscheck compares two -metrics-out JSON artifacts under
+// per-metric tolerances — the CI regression gate.
+//
 // -parallel fans an experiment's independent sweep points (one per
 // application) across a worker pool. Results — tables, -metrics-out,
 // -trace-out — are byte-identical at every worker count: each point runs
@@ -46,7 +69,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"morpheus/internal/core"
 	"morpheus/internal/exp"
@@ -56,6 +81,64 @@ import (
 	"morpheus/internal/trace"
 	"morpheus/internal/units"
 )
+
+// parsePS converts a Go duration string to picoseconds (the simulator's
+// native unit).
+func parsePS(s string) (int64, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("duration %q must be positive", s)
+	}
+	return int64(d) * 1000, nil
+}
+
+// parseSamplePolicy parses the -trace-sample spec:
+// "head=N,lat=DUR,pending=N,keep=name|name". Omitted fields keep their
+// zero/default values; "keep=" (empty) disables name matching.
+func parseSamplePolicy(s string) (trace.SamplePolicy, error) {
+	var p trace.SamplePolicy
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return p, fmt.Errorf("trace-sample: malformed field %q (want key=value)", part)
+		}
+		switch kv[0] {
+		case "head":
+			n, err := strconv.Atoi(kv[1])
+			if err != nil || n < 0 {
+				return p, fmt.Errorf("trace-sample: bad head %q", kv[1])
+			}
+			p.Head = n
+		case "lat":
+			ps, err := parsePS(kv[1])
+			if err != nil {
+				return p, fmt.Errorf("trace-sample: bad lat: %w", err)
+			}
+			p.Latency = units.Duration(ps)
+		case "pending":
+			n, err := strconv.Atoi(kv[1])
+			if err != nil || n <= 0 {
+				return p, fmt.Errorf("trace-sample: bad pending %q", kv[1])
+			}
+			p.MaxPending = n
+		case "keep":
+			if kv[1] == "" {
+				p.KeepNames = []string{}
+			} else {
+				p.KeepNames = strings.Split(kv[1], "|")
+			}
+		default:
+			return p, fmt.Errorf("trace-sample: unknown field %q", kv[0])
+		}
+	}
+	if !p.Enabled() {
+		return p, fmt.Errorf("trace-sample: %q enables nothing (set head, lat, or keep)", s)
+	}
+	return p, nil
+}
 
 // traceCap bounds the shared tracer's memory on long runs; overflow is
 // counted, not fatal.
@@ -73,6 +156,29 @@ func writeTrace(path string, tr *trace.Tracer) error {
 	}
 	if d := tr.Dropped(); d > 0 {
 		fmt.Fprintf(os.Stderr, "morpheusbench: trace dropped %d events past the %d-event cap\n", d, traceCap)
+	}
+	return f.Close()
+}
+
+// writeSeries dumps the windowed time series: JSON or CSV when the path
+// says so, OpenMetrics text exposition (with window-end timestamps)
+// otherwise.
+func writeSeries(path string, reg *stats.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".json"):
+		err = reg.WriteSeriesJSON(f)
+	case strings.HasSuffix(path, ".csv"):
+		err = reg.WriteSeriesCSV(f)
+	default:
+		err = reg.WriteSeriesOpenMetrics(f)
+	}
+	if err != nil {
+		return err
 	}
 	return f.Close()
 }
@@ -235,7 +341,21 @@ func main() {
 		ssdCacheMB = flag.Int("ssd-cache-mb", 0, "object-cache capacity in MiB (implies -ssd-cache; 0 = the 64MiB default)")
 		mvmEngine  = flag.String("mvm-engine", "compiled", "embedded-core execution engine: compiled or interp (bit-identical results; compiled is faster in host wall-clock)")
 		simEngine  = flag.String("sim-engine", "wheel", "discrete-event scheduler: wheel (hierarchical time wheel, the default) or heap (reference binary heap); bit-identical results, wheel is faster in host wall-clock")
+
+		metricsWindow = flag.String("metrics-window", "", "windowed time-series bucket width as a Go duration (e.g. 100us); enables per-window counters, latency quantiles, and gauges")
+		timeseriesOut = flag.String("timeseries-out", "", "write the windowed time series to this file (.json, .csv, else OpenMetrics text); requires -metrics-window")
+		traceSample   = flag.String("trace-sample", "", "tail-sample the trace: head=N,lat=DUR,pending=N,keep=name|name (requires -trace-out)")
+		traceStream   = flag.Bool("trace-stream", true, "stream -trace-out events through a bounded-memory external-sort spool (byte-identical to the buffered writer)")
 	)
+	var slos []stats.SLOConfig
+	flag.Func("slo", "latency objective name=...,metric=...,target=2ms,budget=0.001, tracked per window (repeatable; name \"\" or \"*\" = every run)", func(s string) error {
+		c, err := stats.ParseSLO(s, parsePS)
+		if err != nil {
+			return err
+		}
+		slos = append(slos, c)
+		return nil
+	})
 	flag.Parse()
 	exps := experiments()
 	if *list {
@@ -269,10 +389,47 @@ func main() {
 			}
 		}
 	}
+	if *metricsWindow != "" {
+		ps, err := parsePS(*metricsWindow)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "morpheusbench: -metrics-window: %v\n", err)
+			os.Exit(2)
+		}
+		opts.MetricsWindow = units.Duration(ps)
+	}
+	if *timeseriesOut != "" && opts.MetricsWindow == 0 {
+		fmt.Fprintln(os.Stderr, "morpheusbench: -timeseries-out requires -metrics-window")
+		os.Exit(2)
+	}
+	opts.SLOs = slos
+	if *traceSample != "" && *traceOut == "" {
+		fmt.Fprintln(os.Stderr, "morpheusbench: -trace-sample requires -trace-out")
+		os.Exit(2)
+	}
+	var stream *trace.ChromeStream
+	var streamFile *os.File
 	if *traceOut != "" {
 		opts.Trace = trace.New(traceCap)
+		if *traceSample != "" {
+			p, err := parseSamplePolicy(*traceSample)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "morpheusbench: %v\n", err)
+				os.Exit(2)
+			}
+			opts.Trace.SetSamplePolicy(p)
+		}
+		if *traceStream {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "morpheusbench: trace-out: %v\n", err)
+				os.Exit(1)
+			}
+			streamFile = f
+			stream = trace.NewChromeStream(f)
+			opts.Trace.SetSink(stream)
+		}
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" || *timeseriesOut != "" {
 		opts.Metrics = stats.NewRegistry()
 	}
 
@@ -312,14 +469,34 @@ func main() {
 		}
 	}
 	if *traceOut != "" {
-		if err := writeTrace(*traceOut, opts.Trace); err != nil {
+		if stream != nil {
+			// Streaming path: merge the spools into the final file.
+			err := stream.Close()
+			if cerr := streamFile.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "morpheusbench: trace-out: %v\n", err)
+				os.Exit(1)
+			}
+		} else if err := writeTrace(*traceOut, opts.Trace); err != nil {
 			fmt.Fprintf(os.Stderr, "morpheusbench: trace-out: %v\n", err)
 			os.Exit(1)
+		}
+		if *traceSample != "" {
+			fmt.Fprintf(os.Stderr, "morpheusbench: trace sampling kept %d of %d events (%d sampled out)\n",
+				opts.Trace.Kept(), opts.Trace.Recorded(), opts.Trace.SampledOut())
 		}
 	}
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, opts.Metrics); err != nil {
 			fmt.Fprintf(os.Stderr, "morpheusbench: metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *timeseriesOut != "" {
+		if err := writeSeries(*timeseriesOut, opts.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "morpheusbench: timeseries-out: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,84 @@
+// Command morpheuscheck is the perf-regression gate: it compares a
+// candidate metrics artifact (morpheusbench -metrics-out foo.json, or a
+// -timeseries-out artifact) against a trusted baseline and exits
+// nonzero when any metric moved past its tolerance.
+//
+// Usage:
+//
+//	morpheuscheck baseline.json candidate.json                # byte-exact
+//	morpheuscheck -rule 'histograms.*.p99:0.05:up' \
+//	              -rule 'counters.*:0' \
+//	              -default-tol 0.01 baseline.json candidate.json
+//
+// Rules are pattern:tol[:up|down|both|off] and are checked in order —
+// the first pattern matching a metric's dotted path (for example
+// "histograms.nvme.MREAD.latency_ps.p99") governs it; unmatched metrics
+// use -default-tol with direction both. "up" flags only increases
+// (latency-like), "down" only decreases (throughput-like), "off"
+// exempts the metric. A metric present in the baseline but missing from
+// the candidate fails the gate; a metric only in the candidate is a
+// warning.
+//
+// Exit status: 0 when the gate passes, 1 on regressions, 2 on usage or
+// artifact-parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"morpheus/internal/gate"
+)
+
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "morpheuscheck: "+format+"\n", args...)
+	os.Exit(code)
+}
+
+func load(path string) gate.Artifact {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(2, "%v", err)
+	}
+	defer f.Close()
+	a, err := gate.Load(f)
+	if err != nil {
+		fail(2, "%s: %v", path, err)
+	}
+	return a
+}
+
+func main() {
+	var rules []gate.Rule
+	flag.Func("rule", "pattern:tol[:up|down|both|off] — per-metric tolerance, first match wins (repeatable)", func(s string) error {
+		r, err := gate.ParseRule(s)
+		if err != nil {
+			return err
+		}
+		rules = append(rules, r)
+		return nil
+	})
+	defaultTol := flag.Float64("default-tol", 0, "relative tolerance for metrics no rule matches (0 = byte-exact)")
+	quiet := flag.Bool("q", false, "print only the verdict line")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fail(2, "usage: morpheuscheck [flags] baseline.json candidate.json")
+	}
+	baseline := load(flag.Arg(0))
+	candidate := load(flag.Arg(1))
+	rep := gate.Compare(baseline, candidate, rules, *defaultTol)
+	if *quiet {
+		if rep.OK() {
+			fmt.Printf("ok: %d metrics within tolerance\n", rep.Checked)
+		} else {
+			fmt.Printf("gate failed: %d regression(s) across %d checked metrics\n",
+				len(rep.Regressions), rep.Checked)
+		}
+	} else {
+		rep.Render(os.Stdout)
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}

@@ -125,8 +125,11 @@ func (s *System) DeserializeConventional(ready units.Time, f *File, parser HostP
 		// Phase A: read(2) consumes the chunk from the page cache.
 		failed := pending[k].Comp.Status.Err() != nil
 		if !failed && rp.expired(pending[k].Submitted, pending[k].Done) {
-			s.Counters.Add(stats.CmdTimeouts, 1)
+			s.Metrics.AddAt(stats.CmdTimeouts, int64(pending[k].Done), 1)
 			failed = true
+		}
+		if failed {
+			s.tracer.Flag(pending[k].Span)
 		}
 		// The chunk leaves the queue here either way: a failed readahead is
 		// replayed as a fresh command below, which accounts for itself.
@@ -137,7 +140,7 @@ func (s *System) DeserializeConventional(ready units.Time, f *File, parser HostP
 			// Unlike an MREAD train, conventional READs are stateless and
 			// independent, so a single chunk can be replayed in place.
 			origErr := statusErr("READ", pending[k].Comp.Status)
-			s.Counters.Add(stats.CmdRetries, 1)
+			s.Metrics.AddAt(stats.CmdRetries, int64(t), 1)
 			_, t2, rerr := s.Driver.SubmitRetry(t, "READ", rp, func() *ssd.CmdContext {
 				raws[k] = nil
 				return &ssd.CmdContext{

@@ -148,7 +148,8 @@ func (d *Driver) SubmitAsync(ready units.Time, ctx *ssd.CmdContext) (Pending, un
 // count drops.
 func (d *Driver) reaped(p Pending) {
 	d.inflight--
-	d.sys.Metrics.Histogram("nvme."+p.Op.String()+".latency_ps").Record(int64(p.Done.Sub(p.Submitted)))
+	d.sys.Metrics.ObserveLatency("nvme."+p.Op.String()+".latency_ps",
+		int64(p.Done), int64(p.Done.Sub(p.Submitted)))
 }
 
 // Wait blocks the host thread until the pending command completes,

@@ -96,7 +96,7 @@ func (d *Driver) SubmitRetry(ready units.Time, op string, p RetryPolicy, makeCtx
 		case attempt > 1:
 			o = "recovered"
 		}
-		d.sys.Metrics.Histogram("core."+op+".latency_ps."+o).Record(int64(t.Sub(ready)))
+		d.sys.Metrics.ObserveLatency("core."+op+".latency_ps."+o, int64(t), int64(t.Sub(ready)))
 	}
 	// record chains failures across attempts with %w, so a media error on
 	// attempt 1 stays classifiable even when the retry fails differently
@@ -109,19 +109,24 @@ func (d *Driver) SubmitRetry(ready units.Time, op string, p RetryPolicy, makeCtx
 	}
 	for attempt := 1; ; attempt++ {
 		submitted := t
-		comp, t2, err := d.Submit(t, makeCtx())
+		// Submit and wait separately (identical timing to Submit) so the
+		// pending record's span is at hand for tail-sampling flags.
+		pend, t2, err := d.SubmitAsync(t, makeCtx())
 		if err != nil {
 			// Protocol-level failure (queue full, ring desync): not a
 			// device status, not retryable.
-			return comp, t2, err
+			return nvme.Completion{}, t, err
 		}
+		comp, t2 := d.Wait(t2, pend)
 		t = t2
 		switch {
 		case p.expired(submitted, t):
-			d.sys.Counters.Add(stats.CmdTimeouts, 1)
+			d.sys.Metrics.AddAt(stats.CmdTimeouts, int64(t), 1)
+			d.sys.tracer.Flag(pend.Span)
 			record(fmt.Errorf("core: %s took %v, past its %v deadline: %w",
 				op, t.Sub(submitted), p.Deadline, ErrDeadline))
 		case comp.Status.Err() != nil:
+			d.sys.tracer.Flag(pend.Span)
 			record(statusErr(op, comp.Status))
 			if !comp.Status.Retryable() {
 				outcome(attempt, lastErr)
@@ -136,7 +141,7 @@ func (d *Driver) SubmitRetry(ready units.Time, op string, p RetryPolicy, makeCtx
 			outcome(attempt, err)
 			return comp, t, err
 		}
-		d.sys.Counters.Add(stats.CmdRetries, 1)
+		d.sys.Metrics.AddAt(stats.CmdRetries, int64(t), 1)
 		t = t.Add(backoff)
 		backoff = p.next(backoff)
 	}

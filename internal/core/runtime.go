@@ -176,7 +176,7 @@ func (s *System) InvokeStorageApp(ready units.Time, opt InvokeOptions) (*InvokeR
 			}
 			// Replaying a train needs a fresh MINIT; the backoff models
 			// the host error handling before the re-submission.
-			s.Counters.Add(stats.CmdRetries, 1)
+			s.Metrics.AddAt(stats.CmdRetries, int64(t), 1)
 			t = t.Add(backoff)
 			backoff = rp.next(backoff)
 		}
@@ -194,8 +194,9 @@ func (s *System) InvokeStorageApp(ready units.Time, opt InvokeOptions) (*InvokeR
 // recordInvoke charges one served invocation into the latency histograms,
 // attributed to the path that ultimately served it.
 func (s *System) recordInvoke(ready units.Time, res *InvokeResult) {
-	s.Metrics.Histogram("core.invoke.latency_ps."+res.Path.String()).Record(int64(res.Done.Sub(ready)))
-	s.Metrics.Histogram("core.invoke.attempts").Record(int64(res.Attempts))
+	s.Metrics.ObserveLatency("core.invoke.latency_ps."+res.Path.String(),
+		int64(res.Done), int64(res.Done.Sub(ready)))
+	s.Metrics.ObserveLatency("core.invoke.attempts", int64(res.Done), int64(res.Attempts))
 }
 
 // invokeMorpheusOnce runs one complete MINIT/MREAD*/MDEINIT train. On any
@@ -311,7 +312,8 @@ func (s *System) invokeMorpheusOnce(ready units.Time, opt InvokeOptions, rp Retr
 				return statusErr("MREAD", cp.Status)
 			}
 			if rp.expired(pending[i].Submitted, pending[i].Done) {
-				s.Counters.Add(stats.CmdTimeouts, 1)
+				s.Metrics.AddAt(stats.CmdTimeouts, int64(t), 1)
+				s.tracer.Flag(pending[i].Span)
 				return fmt.Errorf("core: MREAD took %v, past its %v deadline: %w",
 					pending[i].Done.Sub(pending[i].Submitted), rp.Deadline, ErrDeadline)
 			}
@@ -379,7 +381,12 @@ func (s *System) invokeMorpheusOnce(ready units.Time, opt InvokeOptions, rp Retr
 // the same way. cause is the device-path error that triggered degradation.
 func (s *System) invokeFallback(ready units.Time, opt InvokeOptions, cause error, attempts int) (*InvokeResult, error) {
 	fb := opt.Fallback
-	s.Counters.Add(stats.HostFallbacks, 1)
+	s.Metrics.AddAt(stats.HostFallbacks, int64(ready), 1)
+	// Degraded mode is always trace-worthy: the marker both shows up on
+	// the host track and tells the tail sampler to keep the tree.
+	fbSpan := s.tracer.NextSpan()
+	s.tracer.RecordSpan("host", "fallback", "path=host", fbSpan, 0, ready, ready)
+	s.tracer.Flag(fbSpan)
 	res, derr := s.DeserializeConventional(ready, opt.File, fb.Parser(), fb.Spec, fb.CoreIdx)
 	if derr == nil {
 		return &InvokeResult{
@@ -401,7 +408,10 @@ func (s *System) invokeFallback(ready units.Time, opt InvokeOptions, cause error
 	if !ok {
 		return nil, fmt.Errorf("core: host fallback failed (%w) and %q has no replica: %w", derr, opt.File.Name, ErrMediaFailure)
 	}
-	s.Counters.Add(stats.ReplicaFallbacks, 1)
+	s.Metrics.AddAt(stats.ReplicaFallbacks, int64(t), 1)
+	rfSpan := s.tracer.NextSpan()
+	s.tracer.RecordSpan("host", "fallback", "path=replica", rfSpan, 0, t, t)
+	s.tracer.Flag(rfSpan)
 	rres, rerr := s.DeserializeFromMedium(t, s.ReplicaMedium(), data, fb.Parser(), fb.Spec, fb.CoreIdx)
 	if rerr != nil {
 		return nil, rerr
@@ -518,7 +528,7 @@ func (s *System) SerializeStorageApp(ready units.Time, app *StorageApp, f *File,
 	}
 	res.RetVal = comp.Result
 	res.Done = t
-	s.Metrics.Histogram("phase."+string(stats.PhaseSerialize)+"_ps").Record(int64(t.Sub(ready)))
+	s.Metrics.ObserveLatency("phase."+string(stats.PhaseSerialize)+"_ps", int64(t), int64(t.Sub(ready)))
 	return res, nil
 }
 

@@ -247,19 +247,19 @@ func (s *System) sampleGauges(now units.Time) {
 	}
 	m := s.Metrics
 	t := int64(now)
-	m.Gauge("nvme.queue_depth").Sample(t, float64(s.Driver.inflight))
+	m.SampleAt("nvme.queue_depth", t, float64(s.Driver.inflight))
 	inst := float64(s.SSD.Instances())
-	m.Gauge("ssd.slots_in_use").Sample(t, inst)
-	m.Gauge("ssd.slots_util").Sample(t, inst/float64(s.SSD.MaxInstances()))
+	m.SampleAt("ssd.slots_in_use", t, inst)
+	m.SampleAt("ssd.slots_util", t, inst/float64(s.SSD.MaxInstances()))
 	ch := float64(s.Cfg.SSD.Geometry.Channels)
-	m.Gauge("flash.channel_util").Sample(t, float64(s.SSD.Flash.ChannelBusyTime())/(ch*float64(now)))
+	m.SampleAt("flash.channel_util", t, float64(s.SSD.Flash.ChannelBusyTime())/(ch*float64(now)))
 	// Full-duplex link: busy time is summed over both directions.
-	m.Gauge("pcie.ssd_link_util").Sample(t, float64(s.Fabric.Endpoint(ssd.EndpointName).BusyTime())/(2*float64(now)))
-	m.Gauge("host.cpu_util").Sample(t, float64(s.Host.Cores.BusyTime())/(float64(s.Cfg.CPU.Cores)*float64(now)))
+	m.SampleAt("pcie.ssd_link_util", t, float64(s.Fabric.Endpoint(ssd.EndpointName).BusyTime())/(2*float64(now)))
+	m.SampleAt("host.cpu_util", t, float64(s.Host.Cores.BusyTime())/(float64(s.Cfg.CPU.Cores)*float64(now)))
 	if s.SSD.CacheEnabled() {
 		// Only when the object cache is on, so default runs keep their
 		// exact metrics schema.
-		m.Gauge("ssd.cache.occupancy_bytes").Sample(t, float64(s.SSD.CacheBytes()))
+		m.SampleAt("ssd.cache.occupancy_bytes", t, float64(s.SSD.CacheBytes()))
 	}
 }
 

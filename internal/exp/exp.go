@@ -45,6 +45,19 @@ type Options struct {
 	// Metrics, when set, aggregates every run's counters, latency
 	// histograms, and gauges across the experiment.
 	Metrics *stats.Registry
+	// MetricsWindow, when positive, enables windowed time-series
+	// collection on every system the experiment builds: counters,
+	// latency quantiles, and gauges are bucketed into fixed windows of
+	// this width on the virtual clock. The aggregate Metrics registry
+	// adopts the same window through the fold, so the artifact is
+	// byte-identical at any Parallel setting. Zero keeps the default
+	// whole-run aggregation (and the default artifact schema).
+	MetricsWindow units.Duration
+	// SLOs declares latency objectives tracked per window against the
+	// named metric. A config's Name binds it to one tenant (application
+	// name, as in the multiprogrammed experiment); "" or "*" applies to
+	// every run under the name "all".
+	SLOs []stats.SLOConfig
 	// Parallel is the worker count for independent sweep points: 0 uses
 	// one worker per CPU, 1 forces the sequential loop. Output (tables,
 	// Metrics, Trace) is byte-identical at every setting; see parallel.go.
@@ -107,12 +120,40 @@ func buildSystem(o Options, withGPU bool) (*core.System, error) {
 	if o.CPUFreq > 0 {
 		sys.Host.SetFrequency(o.CPUFreq)
 	}
+	if o.MetricsWindow > 0 {
+		sys.Metrics.EnableSeries(int64(o.MetricsWindow))
+	}
+	for _, c := range o.SLOs {
+		if c.Name == "" || c.Name == "*" {
+			c.Name = "all"
+		}
+		sys.Metrics.AddSLO(c)
+	}
 	return sys, nil
+}
+
+// bindSLOs narrows the option set to the SLO configs that apply to one
+// named tenant: configs naming that tenant plus the wildcards ("", "*").
+// Experiments that run one application per system call this so a
+// tenant-scoped objective only counts its own tenant's commands.
+func bindSLOs(o Options, tenant string) Options {
+	if len(o.SLOs) == 0 {
+		return o
+	}
+	var kept []stats.SLOConfig
+	for _, c := range o.SLOs {
+		if c.Name == "" || c.Name == "*" || c.Name == tenant {
+			kept = append(kept, c)
+		}
+	}
+	o.SLOs = kept
+	return o
 }
 
 // runApp stages and executes one application in one mode on a fresh
 // system, returning the report and the system (for counter inspection).
 func runApp(app *apps.App, mode apps.Mode, o Options) (*apps.Report, *core.System, error) {
+	o = bindSLOs(o, app.Name)
 	sys, err := buildSystem(o, app.UsesGPU)
 	if err != nil {
 		return nil, nil, err

@@ -57,6 +57,9 @@ func RunMultiprog(o Options, load float64) (*MultiprogResult, error) {
 		if err != nil {
 			return point{}, err
 		}
+		// Each application is one tenant: objectives named after it bind
+		// to its systems only.
+		po = bindSLOs(po, name)
 		pt := point{row: MultiprogRow{App: name}, counters: stats.NewSet()}
 		for _, contended := range []bool{false, true} {
 			for _, mode := range []apps.Mode{apps.ModeBaseline, apps.ModeMorpheus} {

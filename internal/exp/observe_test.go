@@ -7,6 +7,7 @@ import (
 
 	"morpheus/internal/stats"
 	"morpheus/internal/trace"
+	"morpheus/internal/units"
 )
 
 // TestOptionsObservability wires a tracer and a registry through an
@@ -76,6 +77,54 @@ func TestObservabilityOffByDefault(t *testing.T) {
 			t.Errorf("%s: speedup changed when observed: %v vs %v",
 				r1.Rows[i].App, r1.Rows[i].Speedup, r2.Rows[i].Speedup)
 		}
+	}
+}
+
+// TestTailSamplingSoak is the system-level arm of the tail sampler's
+// bounded-memory claim: a fig8 run at 16x the suite's usual input scale
+// pushes well over 10x the usual command volume through the tracer, yet
+// the kept trace stays O(head + interesting + pending) instead of
+// O(commands).
+func TestTailSamplingSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak-length run")
+	}
+	// Reference volume: the usual suite-scale fig8 run, fully traced.
+	small := testOptions()
+	small.Trace = trace.New(0)
+	if _, err := RunFig8(small); err != nil {
+		t.Fatal(err)
+	}
+	smallVol := small.Trace.Recorded()
+
+	o := testOptions()
+	o.Scale = 1.0 / 64 // 16x the suite scale
+	o.Trace = trace.New(0)
+	// The latency threshold sits above even a whole MREAD train's device
+	// time, so (fault-free) trees are uninteresting and the kept set is
+	// dominated by the head sample — the worst case for the memory bound.
+	o.Trace.SetSamplePolicy(trace.SamplePolicy{
+		Head:       256,
+		Latency:    10 * units.Second,
+		MaxPending: 2048,
+	})
+	o.Metrics = stats.NewRegistry()
+	o.MetricsWindow = 100 * units.Microsecond
+	if _, err := RunFig8(o); err != nil {
+		t.Fatal(err)
+	}
+	recorded, kept, out := o.Trace.Recorded(), int64(o.Trace.Len()), o.Trace.SampledOut()
+	if recorded < 10*smallVol {
+		t.Fatalf("soak recorded %d events, want >=10x the usual fig8 volume (%d)", recorded, smallVol)
+	}
+	// Bounded memory: the kept trace is a sliver of what was offered.
+	if kept > recorded/10 {
+		t.Errorf("sampler kept %d of %d events — not bounded", kept, recorded)
+	}
+	// Conservation: every offered event was kept, discarded, or abandoned
+	// with its undecided tree at adoption (counted as sampled out).
+	if recorded != kept+out {
+		t.Errorf("event accounting leaks: recorded %d != kept %d + sampled out %d", recorded, kept, out)
 	}
 }
 

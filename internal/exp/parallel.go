@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"morpheus/internal/stats"
-	"morpheus/internal/trace"
 )
 
 // The parallel runner. Every experiment in this package is a sweep over
@@ -46,13 +45,15 @@ func (o Options) workers() int {
 // pointOptions derives the isolated option set one sweep point runs
 // under: the same workload knobs (Scale, Seed, Mutate, Faults — each
 // Stage builds its own RNG from Seed, so sharing the seed is safe), but
-// private observation sinks. The per-point tracer is unbounded — the
-// caller's Cap is enforced once, at adoption, which reproduces the
-// sequential drop prefix exactly.
+// private observation sinks. The per-point tracer is an unbounded child
+// of the caller's — it inherits the tail-sampling policy, so sampling
+// decisions happen point-locally and Adopt folds already-sampled
+// events; the caller's Cap is enforced once, at adoption, which
+// reproduces the sequential drop prefix exactly.
 func (o Options) pointOptions() Options {
 	po := o
 	if o.Trace != nil {
-		po.Trace = trace.New(0)
+		po.Trace = o.Trace.Child()
 	}
 	if o.Metrics != nil {
 		po.Metrics = stats.NewRegistry()

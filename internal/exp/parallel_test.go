@@ -13,6 +13,7 @@ import (
 	"morpheus/internal/sim"
 	"morpheus/internal/stats"
 	"morpheus/internal/trace"
+	"morpheus/internal/units"
 )
 
 // tabler is the slice of each experiment the determinism suite needs.
@@ -133,6 +134,150 @@ func TestParallelMatchesSequential(t *testing.T) {
 						t.Errorf("heap scheduler trace diverged: %d wheel events vs %d heap",
 							len(seqEvents), len(heapEvents))
 					}
+				}
+			})
+		}
+	}
+}
+
+// telemetryArtifacts is everything one telemetry-enabled run produces
+// that the byte-identity contract covers.
+type telemetryArtifacts struct {
+	table   string
+	metrics []byte // WriteJSON, including the SLO summary
+	series  []byte // WriteSeriesJSON
+	csv     []byte // WriteSeriesCSV
+	om      []byte // WriteSeriesOpenMetrics
+	events  []trace.Event
+	tracer  *trace.Tracer
+}
+
+// observedTelemetryRun executes one experiment with windowed telemetry,
+// SLO tracking, and tail-sampled tracing all enabled, and captures every
+// artifact.
+func observedTelemetryRun(t *testing.T, run func(Options) (tabler, error), o Options) telemetryArtifacts {
+	t.Helper()
+	o.Trace = trace.New(0)
+	o.Trace.SetSamplePolicy(trace.SamplePolicy{
+		Head:       32,
+		Latency:    50 * units.Microsecond,
+		MaxPending: 512,
+	})
+	o.Metrics = stats.NewRegistry()
+	r, err := run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := telemetryArtifacts{table: r.Table().String(), events: o.Trace.Events(), tracer: o.Trace}
+	var buf bytes.Buffer
+	if err := o.Metrics.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a.metrics = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := o.Metrics.WriteSeriesJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a.series = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := o.Metrics.WriteSeriesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a.csv = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := o.Metrics.WriteSeriesOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a.om = append([]byte(nil), buf.Bytes()...)
+	return a
+}
+
+// diffTelemetry compares two runs' artifacts byte for byte.
+func diffTelemetry(t *testing.T, label string, a, b telemetryArtifacts) {
+	t.Helper()
+	if a.table != b.table {
+		t.Errorf("%s: table diverged:\n%s\nvs:\n%s", label, a.table, b.table)
+	}
+	for _, art := range []struct {
+		name string
+		x, y []byte
+	}{
+		{"metrics JSON", a.metrics, b.metrics},
+		{"timeseries JSON", a.series, b.series},
+		{"timeseries CSV", a.csv, b.csv},
+		{"OpenMetrics", a.om, b.om},
+	} {
+		if !bytes.Equal(art.x, art.y) {
+			t.Errorf("%s: %s diverged (%d vs %d bytes)", label, art.name, len(art.x), len(art.y))
+		}
+	}
+	if !reflect.DeepEqual(a.events, b.events) {
+		t.Errorf("%s: sampled trace diverged: %d vs %d events", label, len(a.events), len(b.events))
+	}
+}
+
+// TestParallelTelemetryMatchesSequential extends the byte-identity
+// contract to the windowed-telemetry artifacts: with time series, SLO
+// tracking, and tail-sampled tracing all on, a parallel run must emit
+// the same timeseries JSON/CSV/OpenMetrics, the same SLO summary, and
+// the same sampled trace (span IDs included) as the sequential run —
+// and, for the first seed, so must a run under the reference heap
+// scheduler.
+func TestParallelTelemetryMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(Options) (tabler, error)
+	}{
+		{"fig8", func(o Options) (tabler, error) { return RunFig8(o) }},
+		{"multiprog", func(o Options) (tabler, error) { return RunMultiprog(o, 0.5) }},
+	}
+	seeds := []int64{20160618, 99}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, tc := range cases {
+		for si, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed=%d", tc.name, seed), func(t *testing.T) {
+				o := testOptions()
+				o.Scale = 1.0 / 8192
+				o.Seed = seed
+				o.MVMEngine = mvm.EngineCompiled
+				o.MetricsWindow = 100 * units.Microsecond
+				o.SLOs = []stats.SLOConfig{
+					{Name: "*", Metric: "nvme.MREAD.latency_ps",
+						TargetPS: int64(40 * units.Microsecond), Budget: 0.05},
+					{Name: "pagerank", Metric: "phase." + string(stats.PhaseDeserialize) + "_ps",
+						TargetPS: int64(2 * units.Millisecond), Budget: 0.5},
+				}
+
+				o.Parallel = 1
+				seq := observedTelemetryRun(t, tc.run, o)
+				o.Parallel = 8
+				par := observedTelemetryRun(t, tc.run, o)
+				diffTelemetry(t, "parallel=8 vs sequential", seq, par)
+
+				// The artifacts must actually carry the telemetry: windows
+				// in the series, the SLO summary in the metrics JSON, and a
+				// sampler that made at least one discard decision.
+				if !bytes.Contains(seq.series, []byte(`"windows"`)) {
+					t.Errorf("series JSON has no windows:\n%s", seq.series)
+				}
+				if !bytes.Contains(seq.metrics, []byte(`"slos"`)) {
+					t.Errorf("metrics JSON has no SLO summary")
+				}
+				if seq.tracer.Recorded() == 0 || seq.tracer.SampledOut() == 0 {
+					t.Errorf("sampler idle: recorded=%d sampledOut=%d",
+						seq.tracer.Recorded(), seq.tracer.SampledOut())
+				}
+				if len(seq.events) == 0 {
+					t.Errorf("sampled trace is empty")
+				}
+
+				if si == 0 && !testing.Short() {
+					o.Parallel = 2
+					o.SimEngine = sim.EngineHeap
+					heap := observedTelemetryRun(t, tc.run, o)
+					diffTelemetry(t, "heap scheduler vs wheel", seq, heap)
 				}
 			})
 		}

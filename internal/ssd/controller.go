@@ -347,6 +347,11 @@ func (c *Controller) process(ready units.Time, ctx *CmdContext) (nvme.Completion
 		c.tracer.RecordSpan("nvme", cmd.Opcode.String(),
 			fmt.Sprintf("slba=%d nlb=%d status=0x%x", cmd.SLBA(), cmd.NLB(), uint16(status)),
 			c.tracer.NextSpan(), ctx.Span, ready, done)
+		if uint16(status) != 0 {
+			// A failed command makes its whole tree interesting to the
+			// tail sampler, wherever the failure surfaced.
+			c.tracer.Flag(ctx.Span)
+		}
 	}
 	return nvme.Completion{CID: cmd.CID, Status: status, Result: result}, done
 }

@@ -260,8 +260,11 @@ func (g *Gauge) Mean() float64 {
 }
 
 // Merge folds o's samples into g as summary statistics: counts add, the
-// range widens, and the time-weighted integrals concatenate. The merged
-// mean weights each gauge by its own sampled interval.
+// range widens, and the time-weighted integrals concatenate so the merged
+// mean weights each gauge by its own sampled interval. The merged last
+// value is temporal, not call-ordered: it comes from whichever gauge
+// sampled later on the virtual clock (ties go to the merged-in gauge,
+// matching Sample's same-timestamp overwrite).
 func (g *Gauge) Merge(o *Gauge) {
 	if o == nil {
 		return
@@ -277,6 +280,7 @@ func (g *Gauge) Merge(o *Gauge) {
 	defer g.mu.Unlock()
 	if g.samples == 0 {
 		g.min, g.max, g.firstT, g.lastT = min, max, firstT, lastT
+		g.last = last
 	} else {
 		if min < g.min {
 			g.min = min
@@ -287,11 +291,11 @@ func (g *Gauge) Merge(o *Gauge) {
 		if firstT < g.firstT {
 			g.firstT = firstT
 		}
-		if lastT > g.lastT {
+		if lastT >= g.lastT {
 			g.lastT = lastT
+			g.last = last
 		}
 	}
 	g.samples += samples
-	g.last = last
 	g.weighted += weighted
 }

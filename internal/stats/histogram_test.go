@@ -178,6 +178,37 @@ func TestGaugeMerge(t *testing.T) {
 	}
 }
 
+// TestGaugeMergeLastIsTemporal: the merged last value must come from the
+// gauge that sampled later on the virtual clock, regardless of merge call
+// order. (Before the fix, Merge took the merged-in gauge's last
+// unconditionally, so folding an earlier-ending interval clobbered the
+// utilization a later interval left behind.)
+func TestGaugeMergeLastIsTemporal(t *testing.T) {
+	late := func() *Gauge { g := &Gauge{}; g.Sample(200, 9); return g }
+	early := func() *Gauge { g := &Gauge{}; g.Sample(100, 5); return g }
+
+	a := late()
+	a.Merge(early()) // late.Merge(early): last must stay the later sample
+	if a.Last() != 9 {
+		t.Fatalf("late.Merge(early).Last() = %g, want 9", a.Last())
+	}
+	b := early()
+	b.Merge(late()) // either direction agrees
+	if b.Last() != 9 {
+		t.Fatalf("early.Merge(late).Last() = %g, want 9", b.Last())
+	}
+	// Equal timestamps: the merged-in gauge wins, matching Sample's
+	// same-timestamp overwrite.
+	c := &Gauge{}
+	c.Sample(100, 1)
+	d := &Gauge{}
+	d.Sample(100, 2)
+	c.Merge(d)
+	if c.Last() != 2 {
+		t.Fatalf("tie merge Last() = %g, want 2", c.Last())
+	}
+}
+
 func TestSetMergeAndSnapshot(t *testing.T) {
 	a, b := NewSet(), NewSet()
 	a.Add("x", 1)

@@ -16,6 +16,18 @@ func makeRegistry(n int64) *Registry {
 	return r
 }
 
+// makeSeriesRegistry additionally enables windowed collection and an SLO,
+// so the race batteries cover the series/SLO copy-then-apply paths.
+func makeSeriesRegistry(n int64) *Registry {
+	r := makeRegistry(n)
+	r.EnableSeries(64)
+	r.AddSLO(SLOConfig{Name: "t", Metric: "h.obs", TargetPS: 100, Budget: 0.5})
+	r.ObserveLatency("h.obs", n, n)
+	r.SampleAt("g.at", n, float64(n))
+	r.AddAt("c.at", n, 1)
+	return r
+}
+
 // TestConcurrentMergeIntoOneRegistry is the parallel runner's hazard: many
 // goroutines folding per-point registries into one aggregate. Run under
 // -race; before the lock-ordering fix the unsynchronized counter-map
@@ -47,6 +59,45 @@ func TestConcurrentMergeIntoOneRegistry(t *testing.T) {
 // (the copy-then-apply pattern never holds both registries' locks).
 func TestCrossMergeDoesNotDeadlock(t *testing.T) {
 	a, b := makeRegistry(1), makeRegistry(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(2)
+		go func() { defer wg.Done(); a.Merge(b) }()
+		go func() { defer wg.Done(); b.Merge(a) }()
+	}
+	wg.Wait() // the test is that this returns
+}
+
+// TestConcurrentSeriesMerge: the same hazards with windowed series and
+// SLOs enabled — per-point registries with per-window cells folding into
+// one aggregate under -race.
+func TestConcurrentSeriesMerge(t *testing.T) {
+	agg := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				agg.Merge(makeSeriesRegistry(int64(w*100 + i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := agg.Histogram("h.obs").Count(); got != workers*50 {
+		t.Fatalf("merged windowed histogram count = %d, want %d", got, workers*50)
+	}
+	if agg.SeriesWindow() != 64 {
+		t.Fatalf("aggregate lost series config: %d", agg.SeriesWindow())
+	}
+}
+
+// TestCrossMergeSeriesDoesNotDeadlock: a.Merge(b) alongside b.Merge(a)
+// with series + SLO state on both sides — the gauge-integral and window
+// folds must also never hold both registry locks.
+func TestCrossMergeSeriesDoesNotDeadlock(t *testing.T) {
+	a, b := makeSeriesRegistry(1), makeSeriesRegistry(2)
 	var wg sync.WaitGroup
 	for i := 0; i < 20; i++ {
 		wg.Add(2)

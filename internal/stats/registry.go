@@ -19,6 +19,13 @@ type Registry struct {
 	counters *Set
 	hists    map[string]*Histogram
 	gauges   map[string]*Gauge
+	// series is the optional windowed time-series collector (EnableSeries);
+	// slos the optional latency objectives (AddSLO), with sloByMetric the
+	// dispatch index ObserveLatency consults. All nil by default so plain
+	// registries keep their PR-2 behavior and artifact schema.
+	series      *seriesData
+	slos        map[string]*sloState
+	sloByMetric map[string][]*sloState
 }
 
 // NewRegistry returns an empty registry with a fresh counter set.
@@ -95,11 +102,23 @@ func (r *Registry) Merge(o *Registry) {
 	}
 	o.mu.Lock()
 	snap := o.counters.Snapshot()
+	series := o.copySeriesLocked()
+	slos := o.copySLOsLocked()
 	o.mu.Unlock()
 	r.mu.Lock()
 	for n, v := range snap.counters {
 		r.counters.Add(n, v)
 	}
+	r.applySeriesLocked(series)
+	if r.series != nil {
+		// The merged counter totals were already attributed to windows by
+		// the source; raise the receiver's boundary snapshot past them so
+		// its own next window close doesn't re-attribute them.
+		for n, v := range snap.counters {
+			r.series.lastSnap[n] += v
+		}
+	}
+	r.applySLOsLocked(slos)
 	r.mu.Unlock()
 	// Histograms and gauges synchronize themselves with the same
 	// copy-then-apply pattern; the name listings lock one registry at a
@@ -112,13 +131,22 @@ func (r *Registry) Merge(o *Registry) {
 	}
 }
 
-// Reset clears every metric.
+// Reset clears every metric. Series and SLO configuration survive (a
+// system's registry is reset between staging and the measured run) but
+// their collected windows and counts are cleared.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.counters.Reset()
 	r.hists = make(map[string]*Histogram)
 	r.gauges = make(map[string]*Gauge)
+	if r.series != nil {
+		r.series = newSeries(r.series.window)
+	}
+	for _, s := range r.slos {
+		s.total, s.bad = 0, 0
+		s.windows = map[int64]*sloWindow{}
+	}
 }
 
 // promName sanitizes a `unit.metric` name into the Prometheus charset.
@@ -223,11 +251,15 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		g := r.Gauge(n)
 		gauges[n] = gaugeJSON{Samples: g.Samples(), Last: g.Last(), Min: g.Min(), Max: g.Max(), Mean: g.Mean()}
 	}
+	r.mu.Lock()
+	slos := r.sloSummaryLocked()
+	r.mu.Unlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(struct {
 		Counters   map[string]int64     `json:"counters"`
 		Histograms map[string]histJSON  `json:"histograms"`
 		Gauges     map[string]gaugeJSON `json:"gauges"`
-	}{counters, hists, gauges})
+		SLOs       map[string]sloJSON   `json:"slos,omitempty"`
+	}{counters, hists, gauges, slos})
 }

@@ -1,0 +1,534 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// seriesData is the windowed time-series collector a Registry grows when
+// EnableSeries is called: every latency observation, gauge sample, and
+// counter delta is additionally attributed to a fixed-width window of the
+// virtual clock (window k covers [k*W, (k+1)*W) picoseconds). Windows are
+// purely index-keyed, so merging registries from several systems — each
+// with its own virtual clock starting at zero — folds window k into
+// window k, which is exactly what the -parallel in-order fold and the
+// multi-tenant aggregation need for byte-identical emission.
+//
+// Counters have no per-write timestamps (the models write a bare *Set),
+// so windowed counter rows are boundary deltas: whenever a timed record
+// crosses into a later window, the registry snapshots its counter set and
+// charges the delta since the previous boundary to the window being
+// closed. Attribution granularity therefore follows the timed-record rate
+// (for the driver, command completions), and is deterministic because
+// each simulated system is single-threaded on a deterministic clock.
+//
+// All access is guarded by the owning Registry's mutex; seriesData has no
+// lock of its own.
+type seriesData struct {
+	window int64 // window width in picoseconds (> 0)
+	cells  map[int64]*seriesCell
+	// lastSnap holds the counter values at the last closed boundary (plus
+	// every merged-in source's totals, so a receiver's own deltas never
+	// re-attribute counters a Merge already placed into windows).
+	lastSnap map[string]int64
+	cur      int64 // open window index (monotone)
+}
+
+// seriesCell is one window's worth of metrics.
+type seriesCell struct {
+	counters map[string]int64
+	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
+}
+
+func newSeriesCell() *seriesCell {
+	return &seriesCell{counters: map[string]int64{}}
+}
+
+func (c *seriesCell) hist(name string) *Histogram {
+	if c.hists == nil {
+		c.hists = map[string]*Histogram{}
+	}
+	h := c.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		c.hists[name] = h
+	}
+	return h
+}
+
+func (c *seriesCell) gauge(name string) *Gauge {
+	if c.gauges == nil {
+		c.gauges = map[string]*Gauge{}
+	}
+	g := c.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		c.gauges[name] = g
+	}
+	return g
+}
+
+// EnableSeries turns on windowed collection with the given window width
+// in picoseconds. A non-positive width is a no-op. Enabling is idempotent
+// for the same width; re-enabling with a different width restarts the
+// collector. Reset clears collected windows but preserves the width.
+func (r *Registry) EnableSeries(windowPS int64) {
+	if windowPS <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.series != nil && r.series.window == windowPS {
+		return
+	}
+	r.series = newSeries(windowPS)
+}
+
+func newSeries(windowPS int64) *seriesData {
+	return &seriesData{
+		window:   windowPS,
+		cells:    map[int64]*seriesCell{},
+		lastSnap: map[string]int64{},
+	}
+}
+
+// SeriesWindow reports the configured window width (0 = series off).
+func (r *Registry) SeriesWindow() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.series == nil {
+		return 0
+	}
+	return r.series.window
+}
+
+// windowIdx maps a virtual time to its window index.
+func (s *seriesData) windowIdx(t int64) int64 {
+	if t < 0 {
+		return 0
+	}
+	return t / s.window
+}
+
+// cell returns window idx's cell, creating it on first use.
+func (s *seriesData) cell(idx int64) *seriesCell {
+	c := s.cells[idx]
+	if c == nil {
+		c = newSeriesCell()
+		s.cells[idx] = c
+	}
+	return c
+}
+
+// advanceLocked rolls the open counter window forward to the one holding
+// t, charging the counter delta since the last boundary to the window
+// being closed. Caller holds r.mu.
+func (r *Registry) advanceLocked(t int64) {
+	s := r.series
+	idx := s.windowIdx(t)
+	if idx <= s.cur {
+		return
+	}
+	r.closeCounterWindowLocked()
+	s.cur = idx
+}
+
+// closeCounterWindowLocked charges counters accumulated since the last
+// boundary to the currently open window. Caller holds r.mu.
+func (r *Registry) closeCounterWindowLocked() {
+	s := r.series
+	var dirty []string
+	for n, v := range r.counters.counters {
+		if v != s.lastSnap[n] {
+			dirty = append(dirty, n)
+		}
+	}
+	if len(dirty) == 0 {
+		return
+	}
+	cell := s.cell(s.cur)
+	for _, n := range dirty {
+		v := r.counters.counters[n]
+		cell.counters[n] += v - s.lastSnap[n]
+		s.lastSnap[n] = v
+	}
+}
+
+// ObserveLatency records one latency observation v (picoseconds) for
+// metric name at virtual time t into the cumulative histogram, the
+// current window's histogram (when the series is enabled), and every SLO
+// watching the metric. With the series and SLOs off it is exactly
+// Histogram(name).Record(v), so default runs keep their schema.
+func (r *Registry) ObserveLatency(name string, t int64, v int64) {
+	r.Histogram(name).Record(v)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	widx := int64(0)
+	if r.series != nil {
+		r.advanceLocked(t)
+		widx = r.series.windowIdx(t)
+		r.series.cell(widx).hist(name).Record(v)
+	}
+	for _, s := range r.sloByMetric[name] {
+		s.observe(widx, v)
+	}
+}
+
+// SampleAt records one gauge sample into the cumulative gauge and, when
+// the series is enabled, the current window's gauge summary.
+func (r *Registry) SampleAt(name string, t int64, v float64) {
+	r.Gauge(name).Sample(t, v)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.series != nil {
+		r.advanceLocked(t)
+		r.series.cell(r.series.windowIdx(t)).gauge(name).Sample(t, v)
+	}
+}
+
+// AddAt increments counter name by v at virtual time t. Identical to
+// Counters().Add when the series is off; with it on, the increment is
+// attributed exactly to t's window (unlike raw Set writes, which are
+// charged to windows by boundary deltas), and the boundary snapshot is
+// advanced past it so the delta mechanism never double-counts it.
+func (r *Registry) AddAt(name string, t int64, v int64) {
+	r.mu.Lock()
+	if r.series != nil {
+		r.advanceLocked(t)
+		s := r.series
+		s.cell(s.windowIdx(t)).counters[name] += v
+		s.lastSnap[name] += v
+	}
+	r.mu.Unlock()
+	r.counters.Add(name, v)
+}
+
+// copySeriesLocked deep-copies the series (flushing the open counter
+// window first) for a lock-free apply on the receiving side of a Merge.
+// Caller holds the owning registry's mu.
+func (r *Registry) copySeriesLocked() *seriesData {
+	s := r.series
+	if s == nil {
+		return nil
+	}
+	r.closeCounterWindowLocked()
+	cp := newSeries(s.window)
+	cp.cur = s.cur
+	for idx, cell := range s.cells {
+		nc := newSeriesCell()
+		for n, v := range cell.counters {
+			nc.counters[n] = v
+		}
+		for n, h := range cell.hists {
+			hc := &Histogram{}
+			hc.Merge(h)
+			nc.hist(n) // ensure map
+			nc.hists[n] = hc
+		}
+		for n, g := range cell.gauges {
+			gc := &Gauge{}
+			gc.Merge(g)
+			nc.gauge(n)
+			nc.gauges[n] = gc
+		}
+		cp.cells[idx] = nc
+	}
+	return cp
+}
+
+// applySeriesLocked folds a copied series into r's. Window indices and
+// metric names are applied in sorted order so floating-point folds (gauge
+// integrals) group identically at any worker count. Caller holds r.mu.
+func (r *Registry) applySeriesLocked(cp *seriesData) {
+	if cp == nil {
+		return
+	}
+	if r.series == nil {
+		r.series = newSeries(cp.window)
+	}
+	s := r.series
+	idxs := make([]int64, 0, len(cp.cells))
+	for idx := range cp.cells {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		src := cp.cells[idx]
+		dst := s.cell(idx)
+		for _, n := range sortedKeys(src.counters) {
+			dst.counters[n] += src.counters[n]
+		}
+		for _, n := range sortedHistKeys(src.hists) {
+			dst.hist(n).Merge(src.hists[n])
+		}
+		for _, n := range sortedGaugeKeys(src.gauges) {
+			dst.gauge(n).Merge(src.gauges[n])
+		}
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedHistKeys(m map[string]*Histogram) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedGaugeKeys(m map[string]*Gauge) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// seriesHistJSON is a per-window histogram row (quantiles, no buckets).
+type seriesHistJSON struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+}
+
+// seriesWindowJSON is one emitted window.
+type seriesWindowJSON struct {
+	StartPS    int64                     `json:"start_ps"`
+	EndPS      int64                     `json:"end_ps"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Histograms map[string]seriesHistJSON `json:"histograms,omitempty"`
+	Gauges     map[string]gaugeJSON      `json:"gauges,omitempty"`
+	SLOs       map[string]sloWindowJSON  `json:"slos,omitempty"`
+}
+
+// seriesFileJSON is the whole timeseries artifact.
+type seriesFileJSON struct {
+	WindowPS int64              `json:"window_ps"`
+	Windows  []seriesWindowJSON `json:"windows"`
+	SLOs     map[string]sloJSON `json:"slo_summary,omitempty"`
+}
+
+// ErrNoSeries is returned by the series writers when windowed collection
+// was never enabled.
+var ErrNoSeries = fmt.Errorf("stats: windowed series collection is not enabled")
+
+// seriesWindowsLocked returns the sorted union of window indices holding
+// metric cells or SLO windows. Caller holds r.mu.
+func (r *Registry) seriesWindowsLocked() []int64 {
+	set := map[int64]bool{}
+	for idx := range r.series.cells {
+		set[idx] = true
+	}
+	for _, s := range r.slos {
+		for idx := range s.windows {
+			set[idx] = true
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for idx := range set {
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WriteSeriesJSON emits the windowed artifact as JSON: the window width,
+// every non-empty window in ascending order (per-window counters,
+// histogram quantiles, gauge summaries, SLO burn), and the SLO summary.
+// Output is deterministic (sorted windows, encoding/json-sorted maps).
+func (r *Registry) WriteSeriesJSON(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.series == nil {
+		return ErrNoSeries
+	}
+	r.closeCounterWindowLocked()
+	s := r.series
+	out := seriesFileJSON{WindowPS: s.window, Windows: []seriesWindowJSON{}}
+	for _, idx := range r.seriesWindowsLocked() {
+		wj := seriesWindowJSON{StartPS: idx * s.window, EndPS: (idx + 1) * s.window}
+		if cell := s.cells[idx]; cell != nil {
+			if len(cell.counters) > 0 {
+				wj.Counters = cell.counters
+			}
+			if len(cell.hists) > 0 {
+				wj.Histograms = map[string]seriesHistJSON{}
+				for n, h := range cell.hists {
+					wj.Histograms[n] = seriesHistJSON{
+						Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+						P50: h.Quantile(0.5), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+					}
+				}
+			}
+			if len(cell.gauges) > 0 {
+				wj.Gauges = map[string]gaugeJSON{}
+				for n, g := range cell.gauges {
+					wj.Gauges[n] = gaugeJSON{Samples: g.Samples(), Last: g.Last(), Min: g.Min(), Max: g.Max(), Mean: g.Mean()}
+				}
+			}
+		}
+		if slos := r.sloWindowJSONLocked(idx); len(slos) > 0 {
+			wj.SLOs = slos
+		}
+		out.Windows = append(out.Windows, wj)
+	}
+	out.SLOs = r.sloSummaryLocked()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// seriesCSVHeader is the flat per-(window, metric) schema of the CSV
+// emission; unused fields are left empty.
+const seriesCSVHeader = "window_start_ps,window_end_ps,kind,name,count,sum,min,max,p50,p95,p99,mean,last,value\n"
+
+func csvFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteSeriesCSV emits the windowed artifact as one flat CSV table: a row
+// per (window, metric), kinds counter/histogram/gauge/slo.
+func (r *Registry) WriteSeriesCSV(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.series == nil {
+		return ErrNoSeries
+	}
+	r.closeCounterWindowLocked()
+	s := r.series
+	if _, err := io.WriteString(w, seriesCSVHeader); err != nil {
+		return err
+	}
+	for _, idx := range r.seriesWindowsLocked() {
+		start, end := idx*s.window, (idx+1)*s.window
+		row := func(kind, name, count, sum, min, max, p50, p95, p99, mean, last, value string) error {
+			_, err := fmt.Fprintf(w, "%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+				start, end, kind, name, count, sum, min, max, p50, p95, p99, mean, last, value)
+			return err
+		}
+		cell := s.cells[idx]
+		if cell != nil {
+			for _, n := range sortedKeys(cell.counters) {
+				if err := row("counter", n, "", "", "", "", "", "", "", "", "", strconv.FormatInt(cell.counters[n], 10)); err != nil {
+					return err
+				}
+			}
+			for _, n := range sortedHistKeys(cell.hists) {
+				h := cell.hists[n]
+				if err := row("histogram", n,
+					strconv.FormatInt(h.Count(), 10), strconv.FormatInt(h.Sum(), 10),
+					strconv.FormatInt(h.Min(), 10), strconv.FormatInt(h.Max(), 10),
+					strconv.FormatInt(h.Quantile(0.5), 10), strconv.FormatInt(h.Quantile(0.95), 10),
+					strconv.FormatInt(h.Quantile(0.99), 10), "", "", ""); err != nil {
+					return err
+				}
+			}
+			for _, n := range sortedGaugeKeys(cell.gauges) {
+				g := cell.gauges[n]
+				if err := row("gauge", n,
+					strconv.FormatInt(g.Samples(), 10), "",
+					csvFloat(g.Min()), csvFloat(g.Max()), "", "", "",
+					csvFloat(g.Mean()), csvFloat(g.Last()), ""); err != nil {
+					return err
+				}
+			}
+		}
+		for _, key := range r.sortedSLOKeysLocked() {
+			sw := r.slos[key].windows[idx]
+			if sw == nil {
+				continue
+			}
+			if err := row("slo", key,
+				strconv.FormatInt(sw.total, 10), strconv.FormatInt(sw.bad, 10),
+				"", "", "", "", "", "", "", csvFloat(r.slos[key].burnRate(sw))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSeriesOpenMetrics emits the windowed artifact in OpenMetrics-style
+// text with explicit timestamps (seconds of virtual time at each window's
+// end): histogram windows as timestamped summary samples, counters as
+// timestamped cumulative *_total samples, gauges as timestamped samples.
+// Ends with the OpenMetrics # EOF marker.
+func (r *Registry) WriteSeriesOpenMetrics(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.series == nil {
+		return ErrNoSeries
+	}
+	r.closeCounterWindowLocked()
+	s := r.series
+	typed := map[string]bool{}
+	emitType := func(pn, kind string) error {
+		if typed[pn] {
+			return nil
+		}
+		typed[pn] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", pn, kind)
+		return err
+	}
+	cum := map[string]int64{}
+	for _, idx := range r.seriesWindowsLocked() {
+		ts := strconv.FormatFloat(float64((idx+1)*s.window)/1e12, 'g', -1, 64)
+		cell := s.cells[idx]
+		if cell == nil {
+			continue
+		}
+		for _, n := range sortedKeys(cell.counters) {
+			cum[n] += cell.counters[n]
+			pn := promName(n)
+			if err := emitType(pn, "counter"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_total %d %s\n", pn, cum[n], ts); err != nil {
+				return err
+			}
+		}
+		for _, n := range sortedHistKeys(cell.hists) {
+			h := cell.hists[n]
+			pn := promName(n)
+			if err := emitType(pn, "summary"); err != nil {
+				return err
+			}
+			for _, qt := range histQuantiles {
+				if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %d %s\n", pn, qt.label, h.Quantile(qt.q), ts); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_count %d %s\n%s_sum %d %s\n", pn, h.Count(), ts, pn, h.Sum(), ts); err != nil {
+				return err
+			}
+		}
+		for _, n := range sortedGaugeKeys(cell.gauges) {
+			g := cell.gauges[n]
+			pn := promName(n)
+			if err := emitType(pn, "gauge"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %g %s\n", pn, g.Mean(), ts); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}

@@ -1,0 +1,291 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeSeries parses a WriteSeriesJSON artifact for assertions.
+func decodeSeries(t *testing.T, r *Registry) seriesFileJSON {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteSeriesJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f seriesFileJSON
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("series artifact is not JSON: %v\n%s", err, buf.String())
+	}
+	return f
+}
+
+func TestSeriesWindowAttribution(t *testing.T) {
+	r := NewRegistry()
+	r.EnableSeries(100)
+	// Two observations in window 0, one in window 2 (window 1 stays empty).
+	r.ObserveLatency("lat", 10, 5)
+	r.ObserveLatency("lat", 90, 15)
+	r.ObserveLatency("lat", 250, 40)
+	r.SampleAt("util", 50, 0.5)
+	r.SampleAt("util", 260, 1.0)
+	f := decodeSeries(t, r)
+	if f.WindowPS != 100 {
+		t.Fatalf("window_ps = %d, want 100", f.WindowPS)
+	}
+	if len(f.Windows) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(f.Windows), f.Windows)
+	}
+	w0, w2 := f.Windows[0], f.Windows[1]
+	if w0.StartPS != 0 || w0.EndPS != 100 || w2.StartPS != 200 || w2.EndPS != 300 {
+		t.Fatalf("window boundaries wrong: %+v %+v", w0, w2)
+	}
+	if h := w0.Histograms["lat"]; h.Count != 2 || h.Sum != 20 {
+		t.Fatalf("window 0 hist = %+v, want count 2 sum 20", h)
+	}
+	if h := w2.Histograms["lat"]; h.Count != 1 || h.Sum != 40 {
+		t.Fatalf("window 2 hist = %+v, want count 1 sum 40", h)
+	}
+	if g := w0.Gauges["util"]; g.Samples != 1 || g.Last != 0.5 {
+		t.Fatalf("window 0 gauge = %+v", g)
+	}
+	// The cumulative histogram saw everything regardless of windows.
+	if c := r.Histogram("lat").Count(); c != 3 {
+		t.Fatalf("cumulative count = %d, want 3", c)
+	}
+}
+
+func TestSeriesCounterDeltas(t *testing.T) {
+	r := NewRegistry()
+	r.EnableSeries(100)
+	// Models bump the raw counter set without timestamps; the timed
+	// records carry the clock that closes windows.
+	r.Counters().Add("cmds", 3)
+	r.ObserveLatency("lat", 50, 1) // still window 0
+	r.Counters().Add("cmds", 4)
+	r.AddAt("retries", 150, 1) // crossing into window 1 closes window 0
+	r.Counters().Add("cmds", 5)
+	r.ObserveLatency("lat", 450, 1) // crossing into window 4 closes window 1
+	f := decodeSeries(t, r)
+	byStart := map[int64]seriesWindowJSON{}
+	for _, w := range f.Windows {
+		byStart[w.StartPS] = w
+	}
+	if got := byStart[0].Counters["cmds"]; got != 7 {
+		t.Fatalf("window 0 cmds delta = %d, want 7 (3 pre + 4 until boundary)", got)
+	}
+	if got := byStart[100].Counters["cmds"]; got != 5 {
+		t.Fatalf("window 1 cmds delta = %d, want 5", got)
+	}
+	if got := byStart[100].Counters["retries"]; got != 1 {
+		t.Fatalf("window 1 retries = %d, want 1", got)
+	}
+	// Window deltas must sum to the cumulative counter.
+	var sum int64
+	for _, w := range f.Windows {
+		sum += w.Counters["cmds"]
+	}
+	if sum != r.Counters().Get("cmds") {
+		t.Fatalf("window deltas sum %d != cumulative %d", sum, r.Counters().Get("cmds"))
+	}
+}
+
+func TestSeriesMergeAddsWindowWise(t *testing.T) {
+	mk := func(base int64) *Registry {
+		r := NewRegistry()
+		r.EnableSeries(100)
+		r.ObserveLatency("lat", 10, base)
+		r.ObserveLatency("lat", 110, base*2)
+		r.AddAt("c", 10, base)
+		return r
+	}
+	agg := NewRegistry() // series config adopted from the first merge
+	agg.Merge(mk(1))
+	agg.Merge(mk(10))
+	if agg.SeriesWindow() != 100 {
+		t.Fatalf("aggregate did not adopt series window: %d", agg.SeriesWindow())
+	}
+	f := decodeSeries(t, agg)
+	if len(f.Windows) != 2 {
+		t.Fatalf("got %d windows, want 2", len(f.Windows))
+	}
+	if h := f.Windows[0].Histograms["lat"]; h.Count != 2 || h.Sum != 11 {
+		t.Fatalf("merged window 0 hist = %+v, want count 2 sum 11", h)
+	}
+	if h := f.Windows[1].Histograms["lat"]; h.Count != 2 || h.Sum != 22 {
+		t.Fatalf("merged window 1 hist = %+v, want count 2 sum 22", h)
+	}
+	if c := f.Windows[0].Counters["c"]; c != 11 {
+		t.Fatalf("merged window 0 counter = %d, want 11", c)
+	}
+	// Aggregate's own flush must not re-attribute merged counters.
+	f2 := decodeSeries(t, agg)
+	if c := f2.Windows[0].Counters["c"]; c != 11 {
+		t.Fatalf("second emission changed counters: %d", c)
+	}
+}
+
+func TestSeriesMergeDeterministicBytes(t *testing.T) {
+	run := func() string {
+		agg := NewRegistry()
+		for i := int64(1); i <= 4; i++ {
+			p := NewRegistry()
+			p.EnableSeries(50)
+			p.ObserveLatency("a.lat", i*30, i)
+			p.ObserveLatency("b.lat", i*40, i*3)
+			p.SampleAt("g", i*25, float64(i)/2)
+			p.Counters().Add("n", i)
+			p.AddAt("m", i*30, 1)
+			agg.Merge(p)
+		}
+		var buf bytes.Buffer
+		if err := agg.WriteSeriesJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("series emission not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestSeriesResetPreservesConfig(t *testing.T) {
+	r := NewRegistry()
+	r.EnableSeries(100)
+	r.AddSLO(SLOConfig{Name: "t", Metric: "lat", TargetPS: 10, Budget: 0.1})
+	r.ObserveLatency("lat", 50, 99)
+	r.Reset()
+	if r.SeriesWindow() != 100 {
+		t.Fatalf("Reset dropped series window: %d", r.SeriesWindow())
+	}
+	if got := r.SLOConfigs(); len(got) != 1 || got[0].Key() != "t|lat" {
+		t.Fatalf("Reset dropped SLO config: %+v", got)
+	}
+	f := decodeSeries(t, r)
+	if len(f.Windows) != 0 {
+		t.Fatalf("Reset kept windows: %+v", f.Windows)
+	}
+	if f.SLOs["t|lat"].Total != 0 {
+		t.Fatalf("Reset kept SLO counts: %+v", f.SLOs)
+	}
+	// Post-reset collection starts clean.
+	r.ObserveLatency("lat", 150, 5)
+	f = decodeSeries(t, r)
+	if len(f.Windows) != 1 || f.Windows[0].StartPS != 100 {
+		t.Fatalf("post-reset windows wrong: %+v", f.Windows)
+	}
+}
+
+func TestSeriesWritersDisabled(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	for _, err := range []error{
+		r.WriteSeriesJSON(&buf), r.WriteSeriesCSV(&buf), r.WriteSeriesOpenMetrics(&buf),
+	} {
+		if err != ErrNoSeries {
+			t.Fatalf("writer on disabled series: %v, want ErrNoSeries", err)
+		}
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	r := NewRegistry()
+	r.EnableSeries(100)
+	r.ObserveLatency("lat", 10, 7)
+	r.SampleAt("util", 20, 0.25)
+	r.AddAt("c", 150, 2)
+	var buf bytes.Buffer
+	if err := r.WriteSeriesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != strings.TrimRight(seriesCSVHeader, "\n") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	want := []string{
+		"100,200,counter,c,,,,,,,,,,2", // AddAt attributes to t's own window
+		"0,100,histogram,lat,1,7,7,7,7,7,7,,,",
+		"0,100,gauge,util,1,,0.25,0.25,,,,0.25,0.25,",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Fatalf("csv missing %q:\n%s", w, out)
+		}
+	}
+	// Deterministic across emissions.
+	var buf2 bytes.Buffer
+	if err := r.WriteSeriesCSV(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Fatal("csv emission not deterministic")
+	}
+}
+
+func TestSeriesOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.EnableSeries(1e12) // 1s windows → ts of window 0 end = 1 second
+	r.ObserveLatency("nvme.MREAD.latency_ps", 5e11, 123)
+	r.SampleAt("flash.channel_util", 5e11, 0.5)
+	r.AddAt("nvme.commands", 5e11, 9)
+	var buf bytes.Buffer
+	if err := r.WriteSeriesOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, w := range []string{
+		"# TYPE nvme_MREAD_latency_ps summary",
+		"nvme_MREAD_latency_ps{quantile=\"0.5\"} 123 1\n",
+		"nvme_MREAD_latency_ps_count 1 1\n",
+		"# TYPE nvme_commands counter",
+		"nvme_commands_total 9 1\n",
+		"# TYPE flash_channel_util gauge",
+		"flash_channel_util 0.5 1\n",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("openmetrics missing %q:\n%s", w, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("openmetrics must end with # EOF:\n%s", out)
+	}
+}
+
+func TestSeriesOpenMetricsCountersAreCumulative(t *testing.T) {
+	r := NewRegistry()
+	r.EnableSeries(100)
+	r.AddAt("c", 50, 3)
+	r.AddAt("c", 150, 4) // closes window 0 (delta 3), lands in window 1
+	r.AddAt("c", 250, 5) // closes window 1 (delta 4), lands in window 2
+	r.ObserveLatency("lat", 350, 1)
+	var buf bytes.Buffer
+	if err := r.WriteSeriesOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, w := range []string{"c_total 3 ", "c_total 7 ", "c_total 12 "} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("cumulative counter missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestSchemaUnchangedWhenSeriesOff(t *testing.T) {
+	// A default registry's JSON must not mention the new keys at all.
+	r := NewRegistry()
+	r.Histogram("h").Record(1)
+	r.Counters().Add("c", 1)
+	r.Gauge("g").Sample(1, 1)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"slos", "series", "window"} {
+		if strings.Contains(buf.String(), banned) {
+			t.Fatalf("default JSON schema leaked %q:\n%s", banned, buf.String())
+		}
+	}
+}

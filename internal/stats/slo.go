@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SLOConfig declares a latency service-level objective over one latency
+// metric: observations above TargetPS are violations, and Budget is the
+// tolerated violation fraction (e.g. 0.001 = 99.9% of observations must
+// meet the target). Name scopes the objective (a tenant, an app, "all");
+// the pair (Name, Metric) identifies it in every artifact as
+// "name|metric".
+type SLOConfig struct {
+	Name     string  // scope, e.g. a multiprog tenant ("pagerank")
+	Metric   string  // latency metric watched, e.g. "nvme.MREAD.latency_ps"
+	TargetPS int64   // latency target in picoseconds
+	Budget   float64 // tolerated violation fraction in (0, 1]
+}
+
+// Key returns the artifact key "name|metric".
+func (c SLOConfig) Key() string { return c.Name + "|" + c.Metric }
+
+// ParseSLO parses "name=gold,metric=nvme.MREAD.latency_ps,target=2ms,budget=0.001"
+// where target takes Go duration syntax. parseDur converts a duration
+// string to picoseconds (injected so this package stays free of a units
+// dependency).
+func ParseSLO(s string, parseDur func(string) (int64, error)) (SLOConfig, error) {
+	var c SLOConfig
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return c, fmt.Errorf("slo: malformed field %q (want key=value)", part)
+		}
+		switch kv[0] {
+		case "name":
+			c.Name = kv[1]
+		case "metric":
+			c.Metric = kv[1]
+		case "target":
+			ps, err := parseDur(kv[1])
+			if err != nil {
+				return c, fmt.Errorf("slo: bad target %q: %w", kv[1], err)
+			}
+			c.TargetPS = ps
+		case "budget":
+			if _, err := fmt.Sscanf(kv[1], "%g", &c.Budget); err != nil {
+				return c, fmt.Errorf("slo: bad budget %q", kv[1])
+			}
+		default:
+			return c, fmt.Errorf("slo: unknown field %q", kv[0])
+		}
+	}
+	if c.Metric == "" || c.TargetPS <= 0 || c.Budget <= 0 || c.Budget > 1 {
+		return c, fmt.Errorf("slo: need metric=..., target>0, budget in (0,1]: %q", s)
+	}
+	return c, nil
+}
+
+// sloState is one objective's accumulated counts: run-wide and per
+// series window (window 0 stands in for the whole run when the series is
+// off). Guarded by the owning Registry's mutex.
+type sloState struct {
+	cfg     SLOConfig
+	total   int64
+	bad     int64
+	windows map[int64]*sloWindow
+}
+
+type sloWindow struct {
+	total int64
+	bad   int64
+}
+
+func newSLOState(cfg SLOConfig) *sloState {
+	return &sloState{cfg: cfg, windows: map[int64]*sloWindow{}}
+}
+
+// observe records one latency observation landing in series window widx.
+func (s *sloState) observe(widx int64, v int64) {
+	w := s.windows[widx]
+	if w == nil {
+		w = &sloWindow{}
+		s.windows[widx] = w
+	}
+	w.total++
+	s.total++
+	if v > s.cfg.TargetPS {
+		w.bad++
+		s.bad++
+	}
+}
+
+// burnRate is the window's error-budget burn: (bad/total)/budget. 1.0
+// means the window consumed budget exactly at the sustainable rate; >1
+// means the objective is violated over that window.
+func (s *sloState) burnRate(w *sloWindow) float64 {
+	if w == nil || w.total == 0 || s.cfg.Budget <= 0 {
+		return 0
+	}
+	return float64(w.bad) / float64(w.total) / s.cfg.Budget
+}
+
+func (s *sloState) violating(w *sloWindow) bool {
+	return w != nil && w.total > 0 && float64(w.bad)/float64(w.total) > s.cfg.Budget
+}
+
+// AddSLO registers an objective on the registry. Registering the same
+// (Name, Metric) pair again replaces its configuration and keeps its
+// counts. Observations reach SLOs only through ObserveLatency.
+func (r *Registry) AddSLO(cfg SLOConfig) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addSLOLocked(cfg)
+}
+
+func (r *Registry) addSLOLocked(cfg SLOConfig) *sloState {
+	if r.slos == nil {
+		r.slos = map[string]*sloState{}
+		r.sloByMetric = map[string][]*sloState{}
+	}
+	key := cfg.Key()
+	if s := r.slos[key]; s != nil {
+		s.cfg = cfg
+		return s
+	}
+	s := newSLOState(cfg)
+	r.slos[key] = s
+	r.sloByMetric[cfg.Metric] = append(r.sloByMetric[cfg.Metric], s)
+	// Keep the per-metric dispatch list in key order so any emission or
+	// fold that walks it is deterministic.
+	sort.Slice(r.sloByMetric[cfg.Metric], func(i, j int) bool {
+		return r.sloByMetric[cfg.Metric][i].cfg.Key() < r.sloByMetric[cfg.Metric][j].cfg.Key()
+	})
+	return s
+}
+
+// SLOConfigs returns the registered objectives sorted by key.
+func (r *Registry) SLOConfigs() []SLOConfig {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SLOConfig, 0, len(r.slos))
+	for _, key := range r.sortedSLOKeysLocked() {
+		out = append(out, r.slos[key].cfg)
+	}
+	return out
+}
+
+func (r *Registry) sortedSLOKeysLocked() []string {
+	keys := make([]string, 0, len(r.slos))
+	for k := range r.slos {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// copySLOsLocked deep-copies the SLO states for a lock-free Merge apply.
+func (r *Registry) copySLOsLocked() []*sloState {
+	out := make([]*sloState, 0, len(r.slos))
+	for _, key := range r.sortedSLOKeysLocked() {
+		s := r.slos[key]
+		cp := newSLOState(s.cfg)
+		cp.total, cp.bad = s.total, s.bad
+		for idx, w := range s.windows {
+			cp.windows[idx] = &sloWindow{total: w.total, bad: w.bad}
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// applySLOsLocked folds copied SLO states into r, adopting configs the
+// receiver has not seen. Caller holds r.mu.
+func (r *Registry) applySLOsLocked(src []*sloState) {
+	for _, cp := range src {
+		dst := r.addSLOLocked(cp.cfg)
+		dst.total += cp.total
+		dst.bad += cp.bad
+		for idx, w := range cp.windows {
+			dw := dst.windows[idx]
+			if dw == nil {
+				dw = &sloWindow{}
+				dst.windows[idx] = dw
+			}
+			dw.total += w.total
+			dw.bad += w.bad
+		}
+	}
+}
+
+// sloJSON is an objective's run-wide summary in artifacts.
+type sloJSON struct {
+	TargetPS          int64   `json:"target_ps"`
+	Budget            float64 `json:"budget"`
+	Total             int64   `json:"total"`
+	Violations        int64   `json:"violations"`
+	BurnRate          float64 `json:"burn_rate"`
+	WindowsViolating  int64   `json:"windows_violating"`
+	TimeInViolationPS int64   `json:"time_in_violation_ps"`
+}
+
+// sloWindowJSON is an objective's per-window row in the series artifact.
+type sloWindowJSON struct {
+	Total      int64   `json:"total"`
+	Violations int64   `json:"violations"`
+	BurnRate   float64 `json:"burn_rate"`
+	Violating  bool    `json:"violating,omitempty"`
+}
+
+// sloSummaryLocked renders the run-wide SLO block (nil when no SLOs are
+// registered, which keeps default artifacts schema-identical).
+func (r *Registry) sloSummaryLocked() map[string]sloJSON {
+	if len(r.slos) == 0 {
+		return nil
+	}
+	window := int64(0)
+	if r.series != nil {
+		window = r.series.window
+	}
+	out := map[string]sloJSON{}
+	for key, s := range r.slos {
+		var violating int64
+		for _, w := range s.windows {
+			if s.violating(w) {
+				violating++
+			}
+		}
+		run := &sloWindow{total: s.total, bad: s.bad}
+		out[key] = sloJSON{
+			TargetPS:          s.cfg.TargetPS,
+			Budget:            s.cfg.Budget,
+			Total:             s.total,
+			Violations:        s.bad,
+			BurnRate:          s.burnRate(run),
+			WindowsViolating:  violating,
+			TimeInViolationPS: violating * window,
+		}
+	}
+	return out
+}
+
+// sloWindowJSONLocked renders one window's SLO rows (nil when empty).
+func (r *Registry) sloWindowJSONLocked(idx int64) map[string]sloWindowJSON {
+	var out map[string]sloWindowJSON
+	for key, s := range r.slos {
+		w := s.windows[idx]
+		if w == nil {
+			continue
+		}
+		if out == nil {
+			out = map[string]sloWindowJSON{}
+		}
+		out[key] = sloWindowJSON{
+			Total:      w.total,
+			Violations: w.bad,
+			BurnRate:   s.burnRate(w),
+			Violating:  s.violating(w),
+		}
+	}
+	return out
+}

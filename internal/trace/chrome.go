@@ -35,75 +35,95 @@ func trackUnit(track string) string {
 	return track
 }
 
-// WriteChromeTrace emits the recorded events in Chrome trace-event JSON
-// (the format chrome://tracing and https://ui.perfetto.dev load). Each
-// unit becomes a process (pid) and each track a thread (tid) within it,
-// so Perfetto groups e.g. all ssd.core* rows under one "ssd" header.
-// Spans become complete ("X") events, instantaneous events become
-// thread-scoped instants ("i"), and span/parent IDs ride in args so the
-// causal chain survives the export. Output is deterministic for a given
-// tracer state.
-func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	events := t.Events()
-	tracks := t.Tracks()
-
-	// Number units and tracks from their sorted order.
-	pidOf := map[string]int{}
-	tidOf := map[string]int{}
-	var units []string
+// chromeLayout numbers units (pids) and tracks (tids) from the sorted
+// track list, exactly as the exporter always has: pids in first-seen
+// order over sorted tracks, tids in sorted-track order, and the unit list
+// re-sorted for metadata emission. Shared by the buffered and streaming
+// writers so their output stays byte-identical.
+func chromeLayout(tracks []string) (pidOf, tidOf map[string]int, unitNames []string) {
+	pidOf = map[string]int{}
+	tidOf = map[string]int{}
 	for _, track := range tracks {
 		u := trackUnit(track)
 		if _, ok := pidOf[u]; !ok {
-			pidOf[u] = len(units) + 1
-			units = append(units, u)
+			pidOf[u] = len(unitNames) + 1
+			unitNames = append(unitNames, u)
 		}
 		tidOf[track] = len(tidOf) + 1
 	}
-	sort.Strings(units)
+	sort.Strings(unitNames)
+	return pidOf, tidOf, unitNames
+}
 
-	out := chromeFile{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
-	for _, u := range units {
-		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+// chromeMetaEvents renders the process/thread naming metadata that leads
+// the event array.
+func chromeMetaEvents(tracks []string, pidOf, tidOf map[string]int, unitNames []string) []chromeEvent {
+	out := make([]chromeEvent, 0, len(unitNames)+len(tracks))
+	for _, u := range unitNames {
+		out = append(out, chromeEvent{
 			Name: "process_name", Phase: "M", PID: pidOf[u],
 			Args: map[string]any{"name": u},
 		})
 	}
 	for _, track := range tracks {
-		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		out = append(out, chromeEvent{
 			Name: "thread_name", Phase: "M", PID: pidOf[trackUnit(track)], TID: tidOf[track],
 			Args: map[string]any{"name": track},
 		})
 	}
+	return out
+}
 
-	const psPerMicro = 1e6 // units.Time is picoseconds; trace ts is µs
+const psPerMicro = 1e6 // units.Time is picoseconds; trace ts is µs
+
+// toChromeEvent converts one recorded event: spans become complete ("X")
+// events, instants thread-scoped ("i"), and span/parent/detail ride in
+// args so the causal chain survives the export.
+func toChromeEvent(e Event, pidOf, tidOf map[string]int) chromeEvent {
+	ce := chromeEvent{
+		Name: e.Name,
+		TS:   float64(e.Start) / psPerMicro,
+		PID:  pidOf[trackUnit(e.Track)],
+		TID:  tidOf[e.Track],
+	}
+	if e.Point() {
+		ce.Phase = "i"
+		ce.Scope = "t"
+	} else {
+		ce.Phase = "X"
+		ce.Dur = float64(e.End-e.Start) / psPerMicro
+	}
+	args := map[string]any{}
+	if e.Span != 0 {
+		args["span"] = uint64(e.Span)
+	}
+	if e.Parent != 0 {
+		args["parent"] = uint64(e.Parent)
+	}
+	if e.Detail != "" {
+		args["detail"] = e.Detail
+	}
+	if len(args) > 0 {
+		ce.Args = args
+	}
+	return ce
+}
+
+// WriteChromeTrace emits the recorded events in Chrome trace-event JSON
+// (the format chrome://tracing and https://ui.perfetto.dev load). Each
+// unit becomes a process (pid) and each track a thread (tid) within it,
+// so Perfetto groups e.g. all ssd.core* rows under one "ssd" header.
+// Output is deterministic for a given tracer state, and byte-identical to
+// streaming the same events through a ChromeStream.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	tracks := t.Tracks()
+	pidOf, tidOf, unitNames := chromeLayout(tracks)
+
+	out := chromeFile{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	out.TraceEvents = append(out.TraceEvents, chromeMetaEvents(tracks, pidOf, tidOf, unitNames)...)
 	for _, e := range events {
-		ce := chromeEvent{
-			Name: e.Name,
-			TS:   float64(e.Start) / psPerMicro,
-			PID:  pidOf[trackUnit(e.Track)],
-			TID:  tidOf[e.Track],
-		}
-		if e.Point() {
-			ce.Phase = "i"
-			ce.Scope = "t"
-		} else {
-			ce.Phase = "X"
-			ce.Dur = float64(e.End-e.Start) / psPerMicro
-		}
-		args := map[string]any{}
-		if e.Span != 0 {
-			args["span"] = uint64(e.Span)
-		}
-		if e.Parent != 0 {
-			args["parent"] = uint64(e.Parent)
-		}
-		if e.Detail != "" {
-			args["detail"] = e.Detail
-		}
-		if len(args) > 0 {
-			ce.Args = args
-		}
-		out.TraceEvents = append(out.TraceEvents, ce)
+		out.TraceEvents = append(out.TraceEvents, toChromeEvent(e, pidOf, tidOf))
 	}
 
 	enc := json.NewEncoder(w)

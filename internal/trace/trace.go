@@ -62,6 +62,15 @@ type Tracer struct {
 	Cap      int
 	dropped  int64
 	nextSpan uint64
+	// sampler, when set, decides which events are kept (sample.go); sink,
+	// when set, receives kept events instead of the in-memory buffer
+	// (stream.go). recorded counts events offered, kept counts events
+	// retained, sampledOut counts sampling discards adopted from children.
+	sampler    *sampler
+	sink       EventSink
+	recorded   int64
+	kept       int64
+	sampledOut int64
 }
 
 // New returns a tracer bounded to cap events (0 = unbounded).
@@ -85,20 +94,42 @@ func (t *Tracer) Record(track, name, detail string, start, end units.Time) {
 	t.RecordSpan(track, name, detail, 0, 0, start, end)
 }
 
-// RecordSpan appends an event carrying causal span links. Safe on a nil
-// tracer.
+// RecordSpan appends an event carrying causal span links. With a sample
+// policy installed the event may be buffered or discarded instead; with a
+// sink installed kept events stream out instead of accumulating. Safe on
+// a nil tracer.
 func (t *Tracer) RecordSpan(track, name, detail string, span, parent SpanID, start, end units.Time) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.recorded++
+	e := Event{Track: track, Name: name, Detail: detail,
+		Span: span, Parent: parent, Start: start, End: end}
+	if t.sampler != nil {
+		for _, ke := range t.sampler.offer(e) {
+			t.keep(ke)
+		}
+		return
+	}
+	t.keep(e)
+}
+
+// keep retains one sampled-in event: to the sink when streaming,
+// otherwise to the in-memory buffer under Cap. Caller holds t.mu.
+func (t *Tracer) keep(e Event) {
+	if t.sink != nil {
+		t.kept++
+		t.sink.Emit(e)
+		return
+	}
 	if t.Cap > 0 && len(t.events) >= t.Cap {
 		t.dropped++
 		return
 	}
-	t.events = append(t.events, Event{Track: track, Name: name, Detail: detail,
-		Span: span, Parent: parent, Start: start, End: end})
+	t.kept++
+	t.events = append(t.events, e)
 }
 
 // Adopt folds another tracer's events into t, renumbering their span IDs
@@ -109,7 +140,10 @@ func (t *Tracer) RecordSpan(track, name, detail string, span, parent SpanID, sta
 // them back in point order, which reproduces the sequential run's trace
 // byte for byte. t's Cap applies at adoption (adopted events past it are
 // dropped and counted), so per-point tracers should be unbounded. o is
-// left unchanged. Safe on a nil receiver or source.
+// left unchanged. Adopted events bypass t's own sampler — the child
+// already sampled them — and o's still-undecided buffered events are
+// counted as sampled out (the point is over; they will never be decided).
+// Safe on a nil receiver or source.
 func (t *Tracer) Adopt(o *Tracer) {
 	if t == nil || o == nil || t == o {
 		return
@@ -119,24 +153,27 @@ func (t *Tracer) Adopt(o *Tracer) {
 	copy(events, o.events)
 	spans := o.nextSpan
 	dropped := o.dropped
+	recorded := o.recorded
+	sampledOut := o.sampledOut
+	if o.sampler != nil {
+		sampledOut += o.sampler.out + int64(o.sampler.pendingEvents)
+	}
 	o.mu.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	offset := SpanID(t.nextSpan)
 	t.nextSpan += spans
 	t.dropped += dropped
+	t.recorded += recorded
+	t.sampledOut += sampledOut
 	for _, e := range events {
-		if t.Cap > 0 && len(t.events) >= t.Cap {
-			t.dropped++
-			continue
-		}
 		if e.Span != 0 {
 			e.Span += offset
 		}
 		if e.Parent != 0 {
 			e.Parent += offset
 		}
-		t.events = append(t.events, e)
+		t.keep(e)
 	}
 }
 
