@@ -11,13 +11,20 @@
 //	morpheusbench -list                   # show the experiment index
 //
 // Experiments: table1, fig2, fig3, profile, fig8, fig9, fig10, traffic,
-// endtoend, slowhost, multiprog, serialize, faults, cachesweep, ablation,
-// all.
+// endtoend, slowhost, multiprog, serialize, faults, cachesweep, serve,
+// ablation, all.
 //
 // -ssd-cache enables the SSD-DRAM deserialized-object cache (an extension
 // beyond the paper) in every experiment; -ssd-cache-mb sizes it. The
 // cachesweep experiment manages the cache itself and ignores both flags'
 // cache fields where it must.
+//
+// -batch-depth and -window-depth tune the batched submission front-end in
+// every experiment: batch-depth MREAD commands are coalesced into one
+// doorbell ring (1 = command-at-a-time) and up to window-depth commands
+// stay in flight before the runtime reaps the oldest completions. The
+// serve experiment (E16) sweeps both itself and overrides the flags. The
+// per-command host submission cost lands in the host.submit.* metrics.
 //
 // -mvm-engine selects the embedded-core execution engine: "compiled" (the
 // default closure-compiled engine with superinstruction fusion) or
@@ -317,6 +324,13 @@ func experiments() []experiment {
 			}
 			return r.Table(), nil
 		})},
+		{"serve", "batched submission sweep (E16, extension)", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunServe(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
 		{"ablation", "design-choice ablations (DESIGN.md §4)", func(o exp.Options) ([]*exp.Table, error) {
 			r, err := exp.RunAblation(o)
 			if err != nil {
@@ -329,18 +343,20 @@ func experiments() []experiment {
 
 func main() {
 	var (
-		which      = flag.String("exp", "all", "experiment to run (or 'all')")
-		scale      = flag.Float64("scale", 1.0/256, "input size as a fraction of the Table I sizes")
-		seed       = flag.Int64("seed", 20160618, "workload generator seed")
-		list       = flag.Bool("list", false, "list available experiments")
-		format     = flag.String("format", "table", "output format: table or csv")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of every run to this file")
-		metricsOut = flag.String("metrics-out", "", "write aggregated metrics to this file (.json for JSON, else Prometheus text)")
-		parallel   = flag.Int("parallel", 0, "workers for independent sweep points (0 = NumCPU, 1 = sequential); output is byte-identical at any setting")
-		ssdCache   = flag.Bool("ssd-cache", false, "enable the SSD-DRAM deserialized-object cache in every experiment (extension beyond the paper)")
-		ssdCacheMB = flag.Int("ssd-cache-mb", 0, "object-cache capacity in MiB (implies -ssd-cache; 0 = the 64MiB default)")
-		mvmEngine  = flag.String("mvm-engine", "compiled", "embedded-core execution engine: compiled or interp (bit-identical results; compiled is faster in host wall-clock)")
-		simEngine  = flag.String("sim-engine", "wheel", "discrete-event scheduler: wheel (hierarchical time wheel, the default) or heap (reference binary heap); bit-identical results, wheel is faster in host wall-clock")
+		which       = flag.String("exp", "all", "experiment to run (or 'all')")
+		scale       = flag.Float64("scale", 1.0/256, "input size as a fraction of the Table I sizes")
+		seed        = flag.Int64("seed", 20160618, "workload generator seed")
+		list        = flag.Bool("list", false, "list available experiments")
+		format      = flag.String("format", "table", "output format: table or csv")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of every run to this file")
+		metricsOut  = flag.String("metrics-out", "", "write aggregated metrics to this file (.json for JSON, else Prometheus text)")
+		parallel    = flag.Int("parallel", 0, "workers for independent sweep points (0 = NumCPU, 1 = sequential); output is byte-identical at any setting")
+		ssdCache    = flag.Bool("ssd-cache", false, "enable the SSD-DRAM deserialized-object cache in every experiment (extension beyond the paper)")
+		ssdCacheMB  = flag.Int("ssd-cache-mb", 0, "object-cache capacity in MiB (implies -ssd-cache; 0 = the 64MiB default)")
+		batchDepth  = flag.Int("batch-depth", 0, "MREAD commands coalesced per doorbell ring in every experiment (1 = command-at-a-time; 0 = the config default)")
+		windowDepth = flag.Int("window-depth", 0, "bound on in-flight MREAD commands in every experiment (0 = 2x batch depth)")
+		mvmEngine   = flag.String("mvm-engine", "compiled", "embedded-core execution engine: compiled or interp (bit-identical results; compiled is faster in host wall-clock)")
+		simEngine   = flag.String("sim-engine", "wheel", "discrete-event scheduler: wheel (hierarchical time wheel, the default) or heap (reference binary heap); bit-identical results, wheel is faster in host wall-clock")
 
 		metricsWindow = flag.String("metrics-window", "", "windowed time-series bucket width as a Go duration (e.g. 100us); enables per-window counters, latency quantiles, and gauges")
 		timeseriesOut = flag.String("timeseries-out", "", "write the windowed time series to this file (.json, .csv, else OpenMetrics text); requires -metrics-window")
@@ -386,6 +402,21 @@ func main() {
 			cfg.SSD.ObjectCache = true
 			if mb > 0 {
 				cfg.SSD.ObjectCacheSize = units.Bytes(mb) * units.MiB
+			}
+		}
+	}
+	if *batchDepth != 0 || *windowDepth != 0 {
+		prev := opts.Mutate
+		b, w := *batchDepth, *windowDepth
+		opts.Mutate = func(cfg *core.SystemConfig) {
+			if prev != nil {
+				prev(cfg)
+			}
+			if b != 0 {
+				cfg.BatchDepth = b
+			}
+			if w != 0 {
+				cfg.WindowDepth = w
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"morpheus/internal/nvme"
 	"morpheus/internal/ssd"
+	"morpheus/internal/stats"
 	"morpheus/internal/trace"
 	"morpheus/internal/units"
 )
@@ -16,10 +17,15 @@ type Driver struct {
 	sys *System
 	qp  *nvme.QueuePair
 
-	// SubmitCycles is the host CPU work to build an SQE and ring the
-	// doorbell; ReapCycles is the per-completion handling cost.
-	SubmitCycles float64
-	ReapCycles   float64
+	// SQECycles is the host CPU work to build one 64-byte SQE in the ring;
+	// DoorbellCycles is the tail-doorbell MMIO write (an uncached PCIe
+	// posted write, paid once per doorbell no matter how many SQEs it
+	// publishes — the cost SubmitBatch amortizes). A single command costs
+	// SQECycles+DoorbellCycles, the 400 cycles the model has always
+	// charged. ReapCycles is the per-completion handling cost.
+	SQECycles      float64
+	DoorbellCycles float64
+	ReapCycles     float64
 
 	// inflight counts submitted-but-unreaped commands (the queue-depth
 	// gauge). It is a model-level quantity: the simulated host may have
@@ -31,10 +37,11 @@ type Driver struct {
 // NewDriver builds a driver with one I/O queue pair of the given depth.
 func NewDriver(sys *System, depth int) *Driver {
 	return &Driver{
-		sys:          sys,
-		qp:           nvme.NewQueuePair(1, depth),
-		SubmitCycles: 400,
-		ReapCycles:   250,
+		sys:            sys,
+		qp:             nvme.NewQueuePair(1, depth),
+		SQECycles:      250,
+		DoorbellCycles: 150,
+		ReapCycles:     250,
 	}
 }
 
@@ -86,22 +93,65 @@ type Pending struct {
 	Span trace.SpanID
 }
 
-// SubmitAsync submits one command without waiting: the host thread pays
-// the submission cost and continues; the returned Pending carries the
-// device-side completion time for a later Wait.
-func (d *Driver) SubmitAsync(ready units.Time, ctx *ssd.CmdContext) (Pending, units.Time, error) {
-	// Host builds the 64-byte SQE in the ring and writes the doorbell.
-	cid, err := d.qp.Submit(ctx.Cmd)
-	if err != nil {
-		return Pending{}, ready, fmt.Errorf("core: submit: %w", err)
-	}
-	ctx.Cmd.CID = cid
-	// Keep the device-visible ring in sync.
+// popSubmitted advances the device-visible SQ head past one just-pushed
+// entry. The entry was pushed by the caller, so the ring cannot be empty;
+// a failure means the SQ head/tail desynced, and returning an error would
+// leak the CID and ring slot and leave the pair desynced permanently.
+// Like the completion-post path, that is a broken model invariant, not a
+// recoverable condition.
+func (d *Driver) popSubmitted() {
 	if _, err := d.qp.SQ.Pop(); err != nil {
-		return Pending{}, ready, err
+		panic(fmt.Sprintf("core: submission ring desync: %v", err))
 	}
-	tCPU := d.sys.Host.ComputeCycles(ready, d.SubmitCycles)
-	d.sys.Host.MemTraffic(ready, nvme.CommandSize)
+}
+
+// deliverCompletion posts and reaps the command's CQE. With an engine it
+// is an event at the device completion time, delivered when the host waits
+// for the command — or lazily, by a later dispatch draining past it. The
+// post/reap pair is net-zero ring occupancy, so deferral can neither fill
+// the CQ nor change any result; a failure is a broken model invariant,
+// not a recoverable condition.
+func (d *Driver) deliverCompletion(comp nvme.Completion, done units.Time) {
+	post := func(units.Time) {
+		if err := d.qp.Complete(comp.CID, comp.Status, comp.Result); err != nil {
+			panic(fmt.Sprintf("core: completion post: %v", err))
+		}
+		if _, err := d.qp.CQ.Reap(); err != nil {
+			panic(fmt.Sprintf("core: completion reap: %v", err))
+		}
+	}
+	if eng := d.sys.Engine; eng != nil {
+		at := done
+		if now := eng.Clock().Now(); at < now {
+			at = now
+		}
+		eng.Schedule(at, post)
+		return
+	}
+	post(done)
+}
+
+// recordSubmit attributes one doorbell's host-side cost: counter bumps
+// for the doorbell and the SQEs it published, and one overhead
+// observation per command of its share of the submission CPU time —
+// the driver-side analogue of the paper's OS-overhead measurement.
+func (d *Driver) recordSubmit(ready, done units.Time, n int) {
+	m := d.sys.Metrics
+	at := int64(done)
+	m.AddAt(stats.HostDoorbells, at, 1)
+	m.AddAt(stats.HostSQEs, at, int64(n))
+	m.AddAt(stats.HostCoalesced, at, int64(n))
+	per := int64(done.Sub(ready)) / int64(n)
+	for i := 0; i < n; i++ {
+		m.ObserveLatency(stats.HostSubmitOverhead, at, per)
+	}
+}
+
+// startCommand runs the shared post-push half of submission: it syncs the
+// device-visible ring, roots the command's causal chain, hands the
+// command to the device at tCPU, and schedules its interrupt delivery.
+func (d *Driver) startCommand(ready, tCPU units.Time, cid uint16, ctx *ssd.CmdContext) Pending {
+	d.popSubmitted()
 	// Root of the command's causal chain: the span is allocated here and
 	// rides in the context, so every device-side event the command causes
 	// links back to this submission.
@@ -113,34 +163,53 @@ func (d *Driver) SubmitAsync(ready units.Time, ctx *ssd.CmdContext) (Pending, un
 	}
 	d.inflight++
 	comp, done := d.sys.SSD.Submit(tCPU, ctx)
-	// Interrupt delivery: posting the CQE and reaping it is an engine event
-	// at the device completion time, delivered when the host waits for the
-	// command — or lazily, by a later dispatch draining past it. The
-	// post/reap pair is net-zero ring occupancy, so deferral can neither
-	// fill the CQ nor change any result; a failure here is a broken model
-	// invariant, not a recoverable condition.
-	if eng := d.sys.Engine; eng != nil {
-		at := done
-		if now := eng.Clock().Now(); at < now {
-			at = now
-		}
-		eng.Schedule(at, func(units.Time) {
-			if err := d.qp.Complete(comp.CID, comp.Status, comp.Result); err != nil {
-				panic(fmt.Sprintf("core: completion post: %v", err))
-			}
-			if _, err := d.qp.CQ.Reap(); err != nil {
-				panic(fmt.Sprintf("core: completion reap: %v", err))
-			}
-		})
-	} else {
-		if err := d.qp.Complete(comp.CID, comp.Status, comp.Result); err != nil {
-			return Pending{}, tCPU, err
-		}
-		if _, err := d.qp.CQ.Reap(); err != nil {
-			return Pending{}, tCPU, err
-		}
+	d.deliverCompletion(comp, done)
+	return Pending{CID: cid, Comp: comp, Done: done, Submitted: ready, Op: ctx.Cmd.Opcode, Span: span}
+}
+
+// SubmitAsync submits one command without waiting: the host thread pays
+// the submission cost and continues; the returned Pending carries the
+// device-side completion time for a later Wait.
+func (d *Driver) SubmitAsync(ready units.Time, ctx *ssd.CmdContext) (Pending, units.Time, error) {
+	// Host builds the 64-byte SQE in the ring and writes the doorbell.
+	cid, err := d.qp.Submit(ctx.Cmd)
+	if err != nil {
+		return Pending{}, ready, fmt.Errorf("core: submit: %w", err)
 	}
-	return Pending{CID: cid, Comp: comp, Done: done, Submitted: ready, Op: ctx.Cmd.Opcode, Span: span}, tCPU, nil
+	ctx.Cmd.CID = cid
+	tCPU := d.sys.Host.ComputeCycles(ready, d.SQECycles+d.DoorbellCycles)
+	d.sys.Host.MemTraffic(ready, nvme.CommandSize)
+	d.recordSubmit(ready, tCPU, 1)
+	return d.startCommand(ready, tCPU, cid, ctx), tCPU, nil
+}
+
+// SubmitBatch coalesces a batch of commands into one doorbell ring: the
+// host builds every SQE in the ring, then advances the tail once. The CPU
+// cost is N·SQECycles + one DoorbellCycles, so the per-command submission
+// overhead falls toward SQECycles as the batch grows — the submission-side
+// mirror of WaitBatch's reap amortization. All-or-nothing on a full ring
+// (no CID is consumed), so the caller can reap and retry the same batch.
+func (d *Driver) SubmitBatch(ready units.Time, ctxs []*ssd.CmdContext) ([]Pending, units.Time, error) {
+	if len(ctxs) == 0 {
+		return nil, ready, nil
+	}
+	cmds := make([]nvme.Command, len(ctxs))
+	for i, ctx := range ctxs {
+		cmds[i] = ctx.Cmd
+	}
+	cids, err := d.qp.SubmitBatch(cmds)
+	if err != nil {
+		return nil, ready, fmt.Errorf("core: submit batch of %d: %w", len(ctxs), err)
+	}
+	tCPU := d.sys.Host.ComputeCycles(ready, float64(len(ctxs))*d.SQECycles+d.DoorbellCycles)
+	d.sys.Host.MemTraffic(ready, units.Bytes(len(ctxs))*nvme.CommandSize)
+	d.recordSubmit(ready, tCPU, len(ctxs))
+	ps := make([]Pending, len(ctxs))
+	for i, ctx := range ctxs {
+		ctx.Cmd.CID = cids[i]
+		ps[i] = d.startCommand(ready, tCPU, cids[i], ctx)
+	}
+	return ps, tCPU, nil
 }
 
 // reaped accounts one command leaving the queue: the per-opcode latency
@@ -185,6 +254,58 @@ func (d *Driver) Submit(ready units.Time, ctx *ssd.CmdContext) (nvme.Completion,
 	return comp, t, nil
 }
 
+// ReapWindow waits until at least the oldest need commands of ps have
+// completed, then reaps that prefix — plus, completion batching, any
+// further commands in FIFO order whose completions had already arrived by
+// the wake time, so one blocking wait drains every CQE the interrupt
+// delivered. It returns how many commands were reaped (>= need, <=
+// len(ps)) and the host time after reaping. This is what lets a bounded
+// in-flight window admit new submissions as soon as the oldest
+// completions drain, instead of barriering on the whole batch.
+func (d *Driver) ReapWindow(ready units.Time, ps []Pending, need int) (int, units.Time) {
+	if len(ps) == 0 || need <= 0 {
+		return 0, ready
+	}
+	if need > len(ps) {
+		need = len(ps)
+	}
+	var latest units.Time
+	for _, p := range ps[:need] {
+		if p.Done > latest {
+			latest = p.Done
+		}
+	}
+	t := ready
+	wake := ready
+	if latest > ready {
+		wake = latest
+	}
+	// Opportunistic extension: every further command already complete by
+	// the wake time reaps in the same pass, still in FIFO order.
+	n := need
+	drainTo := latest
+	for n < len(ps) && ps[n].Done <= wake {
+		if ps[n].Done > drainTo {
+			drainTo = ps[n].Done
+		}
+		n++
+	}
+	// One interrupt-delivery drain for everything being reaped.
+	if eng := d.sys.Engine; eng != nil {
+		eng.RunUntil(drainTo)
+	}
+	if latest > ready {
+		t = d.sys.Host.BlockingWait(ready, latest)
+	}
+	for _, p := range ps[:n] {
+		t = d.sys.Host.ComputeCycles(t, d.ReapCycles)
+		d.reaped(p)
+	}
+	d.sys.Host.MemTraffic(t, units.Bytes(n)*nvme.CompletionSize)
+	d.sys.sampleGauges(t)
+	return n, t
+}
+
 // WaitBatch waits for a whole batch at once: one blocking wait for the
 // slowest command, then per-completion reaping. This is the Morpheus
 // runtime's amortization — a batch of MREADs costs two context switches
@@ -193,27 +314,10 @@ func (d *Driver) WaitBatch(ready units.Time, ps []Pending) ([]nvme.Completion, u
 	if len(ps) == 0 {
 		return nil, ready
 	}
-	var latest units.Time
-	for _, p := range ps {
-		if p.Done > latest {
-			latest = p.Done
-		}
-	}
-	// One interrupt-delivery drain for the whole batch.
-	if eng := d.sys.Engine; eng != nil {
-		eng.RunUntil(latest)
-	}
-	t := ready
-	if latest > ready {
-		t = d.sys.Host.BlockingWait(ready, latest)
-	}
+	_, t := d.ReapWindow(ready, ps, len(ps))
 	comps := make([]nvme.Completion, len(ps))
 	for i, p := range ps {
 		comps[i] = p.Comp
-		t = d.sys.Host.ComputeCycles(t, d.ReapCycles)
-		d.reaped(p)
 	}
-	d.sys.Host.MemTraffic(t, units.Bytes(len(ps))*nvme.CompletionSize)
-	d.sys.sampleGauges(t)
 	return comps, t
 }

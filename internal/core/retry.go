@@ -108,7 +108,6 @@ func (d *Driver) SubmitRetry(ready units.Time, op string, p RetryPolicy, makeCtx
 		lastErr = cur
 	}
 	for attempt := 1; ; attempt++ {
-		submitted := t
 		// Submit and wait separately (identical timing to Submit) so the
 		// pending record's span is at hand for tail-sampling flags.
 		pend, t2, err := d.SubmitAsync(t, makeCtx())
@@ -120,11 +119,15 @@ func (d *Driver) SubmitRetry(ready units.Time, op string, p RetryPolicy, makeCtx
 		comp, t2 := d.Wait(t2, pend)
 		t = t2
 		switch {
-		case p.expired(submitted, t):
+		// The deadline is checked against device completion time
+		// (Submitted→Done), matching the batch-flush path: host-side reap
+		// cycles after the device finished are scheduling noise, not
+		// command latency, and must not tip a command over its deadline.
+		case p.expired(pend.Submitted, pend.Done):
 			d.sys.Metrics.AddAt(stats.CmdTimeouts, int64(t), 1)
 			d.sys.tracer.Flag(pend.Span)
 			record(fmt.Errorf("core: %s took %v, past its %v deadline: %w",
-				op, t.Sub(submitted), p.Deadline, ErrDeadline))
+				op, pend.Done.Sub(pend.Submitted), p.Deadline, ErrDeadline))
 		case comp.Status.Err() != nil:
 			d.sys.tracer.Flag(pend.Span)
 			record(statusErr(op, comp.Status))

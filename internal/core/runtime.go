@@ -294,31 +294,99 @@ func (s *System) invokeMorpheusOnce(ready units.Time, opt InvokeOptions, rp Retr
 	}
 	minitDone = true
 
-	// Pipelined MREAD train.
+	// Pipelined MREAD train, batched at submission and at reaping: chunks
+	// are staged into BatchDepth-sized doorbell batches (one tail-doorbell
+	// ring publishes the whole batch), and a WindowDepth-bounded in-flight
+	// window decouples submission from completion — before each batch the
+	// train reaps just enough of the oldest completions to make room,
+	// rather than draining everything it has in flight.
 	res = &InvokeResult{Commands: 1}
 	sink := func(p []byte) { res.Out = append(res.Out, p...) }
 	dstAddr := uint64(dest.Addr)
-	var pending []Pending
 	batch := s.Cfg.BatchDepth
 	if batch <= 0 {
 		batch = 32
 	}
-	flush := func() error {
-		comps, t2 := s.Driver.WaitBatch(t, pending)
-		t = t2
-		end = t
-		for i, cp := range comps {
-			if serr := cp.Status.Err(); serr != nil {
-				return statusErr("MREAD", cp.Status)
+	window := s.Cfg.WindowDepth
+	if window <= 0 {
+		window = 2 * batch
+	}
+	if batch > window {
+		batch = window
+	}
+	var pending []Pending
+	var stage []*ssd.CmdContext
+	// checkReaped inspects a reaped prefix. Every failed-status and every
+	// expired command is flagged for the tail sampler (a failed train must
+	// stay visible in a sampled trace), and every expired command counts
+	// into the timeout counter — not just the first one hit. The first
+	// failure, in reap order, becomes the train's error.
+	checkReaped := func(ps []Pending) error {
+		var firstErr error
+		expired := int64(0)
+		for _, p := range ps {
+			if serr := p.Comp.Status.Err(); serr != nil {
+				s.tracer.Flag(p.Span)
+				if firstErr == nil {
+					firstErr = statusErr("MREAD", p.Comp.Status)
+				}
+				continue
 			}
-			if rp.expired(pending[i].Submitted, pending[i].Done) {
-				s.Metrics.AddAt(stats.CmdTimeouts, int64(t), 1)
-				s.tracer.Flag(pending[i].Span)
-				return fmt.Errorf("core: MREAD took %v, past its %v deadline: %w",
-					pending[i].Done.Sub(pending[i].Submitted), rp.Deadline, ErrDeadline)
+			if rp.expired(p.Submitted, p.Done) {
+				expired++
+				s.tracer.Flag(p.Span)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("core: MREAD took %v, past its %v deadline: %w",
+						p.Done.Sub(p.Submitted), rp.Deadline, ErrDeadline)
+				}
 			}
 		}
-		pending = pending[:0]
+		if expired > 0 {
+			s.Metrics.AddAt(stats.CmdTimeouts, int64(t), expired)
+		}
+		return firstErr
+	}
+	// reap drains at least need of the oldest in-flight commands (plus any
+	// whose completions already arrived) and checks them.
+	reap := func(need int) error {
+		n, t2 := s.Driver.ReapWindow(t, pending, need)
+		t = t2
+		end = t
+		rerr := checkReaped(pending[:n])
+		pending = append(pending[:0], pending[n:]...)
+		return rerr
+	}
+	// failTrain reaps whatever is still in flight so a failed attempt
+	// leaves no unreaped commands behind (queue-depth accounting, latency
+	// attribution, sampler flags), keeping the first error.
+	failTrain := func(ferr error) error {
+		if len(pending) > 0 {
+			if derr := reap(len(pending)); derr != nil && ferr == nil {
+				ferr = derr
+			}
+		}
+		return ferr
+	}
+	// submitStage publishes the staged chunks with one doorbell, first
+	// reaping the oldest completions if the window lacks room.
+	submitStage := func() error {
+		if len(stage) == 0 {
+			return nil
+		}
+		if over := len(pending) + len(stage) - window; over > 0 {
+			if rerr := reap(over); rerr != nil {
+				return rerr
+			}
+		}
+		ps, t2, serr := s.Driver.SubmitBatch(t, stage)
+		if serr != nil {
+			return serr
+		}
+		t = t2
+		end = t
+		res.Commands += len(ps)
+		pending = append(pending, ps...)
+		stage = stage[:0]
 		return nil
 	}
 	var offset int64
@@ -329,29 +397,25 @@ func (s *System) invokeMorpheusOnce(ready units.Time, opt InvokeOptions, rp Retr
 			valid = chunkBytes
 		}
 		offset += chunkBytes
-		ctx := &ssd.CmdContext{
+		stage = append(stage, &ssd.CmdContext{
 			Cmd:        nvme.BuildMRead(0, ch.slba, ch.nlb, id, dstAddr),
 			Sink:       sink,
 			LastChunk:  ch.last,
 			ValidBytes: int(valid),
-		}
-		p, t2, serr := s.Driver.SubmitAsync(t, ctx)
-		if serr != nil {
-			err = serr
-			return nil, end, err
-		}
-		t = t2
-		end = t
-		res.Commands++
-		pending = append(pending, p)
+		})
 		dstAddr += uint64(s.Cfg.SSD.MDTS) * 2 // reserve worst-case expansion
-		if len(pending) >= batch {
-			if err = flush(); err != nil {
+		if len(stage) >= batch {
+			if err = submitStage(); err != nil {
+				err = failTrain(err)
 				return nil, end, err
 			}
 		}
 	}
-	if err = flush(); err != nil {
+	if err = submitStage(); err == nil && len(pending) > 0 {
+		err = reap(len(pending))
+	}
+	if err != nil {
+		err = failTrain(err)
 		return nil, end, err
 	}
 

@@ -35,9 +35,16 @@ type SystemConfig struct {
 	WithGPU bool
 	// ParseCosts is the host-side deserialization cost model.
 	ParseCosts host.ParseCosts
-	// BatchDepth is how many MREAD commands the Morpheus runtime keeps in
-	// flight before blocking for completions.
+	// BatchDepth is how many MREAD commands the Morpheus runtime coalesces
+	// into one doorbell ring (Driver.SubmitBatch). 1 submits
+	// command-at-a-time; <= 0 uses 32.
 	BatchDepth int
+	// WindowDepth bounds submitted-but-unreaped MREAD commands. The train
+	// reaps the oldest completions (Driver.ReapWindow) just enough to admit
+	// the next batch instead of draining everything at once, keeping the
+	// SQ/CQ pair saturated. <= 0 derives 2×BatchDepth; values below
+	// BatchDepth clamp the batch down to the window.
+	WindowDepth int
 	// SimEngine selects the discrete-event engine implementation that runs
 	// command dispatch and interrupt delivery. The zero value is the
 	// hierarchical time wheel; sim.EngineHeap selects the reference heap,

@@ -38,6 +38,7 @@ var parallelCases = []struct {
 	{"fig9", false, 0, func(o Options) (tabler, error) { return RunFig9(o) }},
 	{"faults", true, 0, func(o Options) (tabler, error) { return RunFaults(o) }},
 	{"cachesweep", false, 0, func(o Options) (tabler, error) { return RunCachesweep(o) }},
+	{"serve", false, 0, func(o Options) (tabler, error) { return RunServe(o) }},
 	{"fig8-hi", true, 1.0 / 1024, func(o Options) (tabler, error) { return RunFig8(o) }},
 }
 

@@ -1,0 +1,146 @@
+package nvme
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPushAllCoalescesDoorbells: a batch push writes every entry but rings
+// the tail doorbell once, where the same commands pushed one at a time
+// ring once each.
+func TestPushAllCoalescesDoorbells(t *testing.T) {
+	q := NewSubmissionQueue(1, 16)
+	cs := make([]Command, 5)
+	for i := range cs {
+		cs[i] = Command{Opcode: OpRead, CID: uint16(i + 1)}
+	}
+	if err := q.PushAll(cs...); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Doorbells(); got != 1 {
+		t.Fatalf("PushAll of 5 rang %d doorbells, want 1", got)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	// Entries arrive in order and intact.
+	for i := range cs {
+		c, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.CID != uint16(i+1) {
+			t.Fatalf("pop %d: CID = %d, want %d", i, c.CID, i+1)
+		}
+	}
+	for _, c := range cs {
+		if err := q.Push(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := q.Doorbells(); got != 6 {
+		t.Fatalf("after 5 singleton pushes Doorbells = %d, want 6", got)
+	}
+}
+
+// TestPushAllAllOrNothing: when the batch exceeds the ring's free space,
+// nothing is written, no doorbell rings, and the ring still accepts a
+// batch that fits.
+func TestPushAllAllOrNothing(t *testing.T) {
+	q := NewSubmissionQueue(1, 8) // 7 usable slots
+	if got := q.Space(); got != 7 {
+		t.Fatalf("fresh Space = %d, want 7", got)
+	}
+	if err := q.PushAll(make([]Command, 5)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.PushAll(make([]Command, 3)...); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull PushAll: err = %v, want ErrQueueFull", err)
+	}
+	if q.Len() != 5 || q.Doorbells() != 1 {
+		t.Fatalf("failed PushAll mutated the ring: Len=%d Doorbells=%d", q.Len(), q.Doorbells())
+	}
+	if err := q.PushAll(make([]Command, 2)...); err != nil {
+		t.Fatalf("fitting PushAll after a rejected one: %v", err)
+	}
+	if q.Space() != 0 {
+		t.Fatalf("Space = %d, want 0", q.Space())
+	}
+	// The empty batch is a no-op, not a doorbell.
+	if err := q.PushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Doorbells() != 2 {
+		t.Fatalf("empty PushAll rang a doorbell: %d", q.Doorbells())
+	}
+}
+
+// TestPushAllWraps: a batch that crosses the ring's wrap point lands
+// intact.
+func TestPushAllWraps(t *testing.T) {
+	q := NewSubmissionQueue(1, 8)
+	for i := 0; i < 6; i++ {
+		if err := q.Push(Command{CID: uint16(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Pop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// head == tail == 6; a 4-command batch wraps past index 7.
+	cs := make([]Command, 4)
+	for i := range cs {
+		cs[i] = Command{CID: uint16(100 + i)}
+	}
+	if err := q.PushAll(cs...); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cs {
+		c, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.CID != uint16(100+i) {
+			t.Fatalf("wrapped pop %d: CID = %d, want %d", i, c.CID, 100+i)
+		}
+	}
+}
+
+// TestQueuePairSubmitBatch: fresh sequential CIDs are assigned across
+// batches, and a rejected batch consumes none (so the caller can reap and
+// retry the identical batch).
+func TestQueuePairSubmitBatch(t *testing.T) {
+	qp := NewQueuePair(1, 8)
+	cids, err := qp.SubmitBatch(make([]Command, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cids) != 3 || cids[0] != 1 || cids[1] != 2 || cids[2] != 3 {
+		t.Fatalf("first batch CIDs = %v, want [1 2 3]", cids)
+	}
+	// The pushed entries carry their CIDs.
+	for i := 0; i < 3; i++ {
+		c, err := qp.SQ.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.CID != uint16(i+1) {
+			t.Fatalf("entry %d CID = %d, want %d", i, c.CID, i+1)
+		}
+	}
+	// A batch too big for the ring consumes no CIDs...
+	if _, err := qp.SubmitBatch(make([]Command, 8)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("oversized SubmitBatch: err = %v, want ErrQueueFull", err)
+	}
+	// ...so the next batch continues the sequence.
+	cids, err = qp.SubmitBatch(make([]Command, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cids[0] != 4 || cids[1] != 5 {
+		t.Fatalf("post-rejection CIDs = %v, want [4 5]", cids)
+	}
+	if cids, err = qp.SubmitBatch(nil); err != nil || cids != nil {
+		t.Fatalf("empty SubmitBatch: cids=%v err=%v", cids, err)
+	}
+}

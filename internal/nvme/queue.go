@@ -20,6 +20,11 @@ type SubmissionQueue struct {
 	entries [][CommandSize]byte
 	head    uint16 // consumer (controller) index
 	tail    uint16 // producer (host) index
+	// doorbells counts tail-doorbell writes: one per Push, one per
+	// PushAll regardless of batch size. The MMIO write is the expensive
+	// part of submission (an uncached PCIe posted write), so coalescing
+	// is visible here rather than in entry counts.
+	doorbells uint64
 }
 
 // MaxQueueDepth is the largest ring the uint16 head/tail indices can
@@ -65,6 +70,15 @@ func (q *SubmissionQueue) Len() int {
 	return int(uint16(len(q.entries)) - q.head + q.tail)
 }
 
+// Space returns how many more commands the ring can accept before Push
+// (or PushAll) would report ErrQueueFull. One slot is always reserved to
+// distinguish full from empty.
+func (q *SubmissionQueue) Space() int { return len(q.entries) - 1 - q.Len() }
+
+// Doorbells returns the number of tail-doorbell writes so far: Push rings
+// once per command, PushAll once per batch.
+func (q *SubmissionQueue) Doorbells() uint64 { return q.doorbells }
+
 // Push enqueues a command at the tail (the host side writes the SQ entry
 // then rings the tail doorbell).
 func (q *SubmissionQueue) Push(c Command) error {
@@ -74,6 +88,28 @@ func (q *SubmissionQueue) Push(c Command) error {
 	}
 	q.entries[q.tail] = c.Marshal()
 	q.tail = (q.tail + 1) % d
+	q.doorbells++
+	return nil
+}
+
+// PushAll writes a batch of SQ entries and advances the tail once — the
+// doorbell-coalescing submission the NVMe spec permits (the tail doorbell
+// carries the new tail value, not an increment). All-or-nothing: if the
+// ring lacks space for the whole batch, nothing is written and the ring
+// is untouched.
+func (q *SubmissionQueue) PushAll(cs ...Command) error {
+	if len(cs) == 0 {
+		return nil
+	}
+	if len(cs) > q.Space() {
+		return ErrQueueFull
+	}
+	d := uint16(len(q.entries))
+	for _, c := range cs {
+		q.entries[q.tail] = c.Marshal()
+		q.tail = (q.tail + 1) % d
+	}
+	q.doorbells++
 	return nil
 }
 
@@ -171,6 +207,30 @@ func (qp *QueuePair) Submit(c Command) (uint16, error) {
 		return 0, err
 	}
 	return c.CID, nil
+}
+
+// SubmitBatch assigns fresh CIDs to the commands and pushes them all with
+// a single tail-doorbell write. All-or-nothing: when the ring cannot take
+// the whole batch no CID is consumed and no entry is written, so a caller
+// can flush and retry the identical batch.
+func (qp *QueuePair) SubmitBatch(cs []Command) ([]uint16, error) {
+	if len(cs) == 0 {
+		return nil, nil
+	}
+	if len(cs) > qp.SQ.Space() {
+		return nil, ErrQueueFull
+	}
+	cids := make([]uint16, len(cs))
+	for i := range cs {
+		qp.nextCID++
+		cs[i].CID = qp.nextCID
+		cids[i] = cs[i].CID
+	}
+	if err := qp.SQ.PushAll(cs...); err != nil {
+		// Space was checked above; a failure here is ring-state corruption.
+		return nil, err
+	}
+	return cids, nil
 }
 
 // Complete posts a completion for the given command.

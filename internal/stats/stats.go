@@ -41,7 +41,21 @@ const (
 	CmdTimeouts      = "core.timeouts"          // per-command deadlines exceeded
 	HostFallbacks    = "core.fallbacks"         // requests served by the host path
 	ReplicaFallbacks = "core.replica_fallbacks" // ...that had to re-fetch a replica
+
+	// Submission-path attribution (the batched front-end in
+	// internal/core/driver.go). Doorbells counts tail-doorbell MMIO
+	// writes, SQEs the commands behind them; their ratio is the achieved
+	// coalescing factor. HostCoalesced accumulates batch sizes so the
+	// windowed series shows batching ramping up or collapsing over time.
+	HostDoorbells = "host.submit.doorbells"
+	HostSQEs      = "host.submit.sqes"
+	HostCoalesced = "host.submit.coalesced_batch_size"
 )
+
+// HostSubmitOverhead is the latency histogram of per-command host-side
+// submission cost (CPU cycles to build SQEs + ring the doorbell, divided
+// over the commands that shared the doorbell), in picoseconds.
+const HostSubmitOverhead = "host.submit.overhead_ps"
 
 // Set is a bag of named int64 counters. The zero value is not usable; call
 // NewSet. A Set is NOT safe for concurrent use: each simulated system
