@@ -12,7 +12,7 @@
 //
 // Experiments: table1, fig2, fig3, profile, fig8, fig9, fig10, traffic,
 // endtoend, slowhost, multiprog, serialize, faults, cachesweep, serve,
-// ablation, all.
+// array, ablation, all.
 //
 // -ssd-cache enables the SSD-DRAM deserialized-object cache (an extension
 // beyond the paper) in every experiment; -ssd-cache-mb sizes it. The
@@ -25,6 +25,15 @@
 // stay in flight before the runtime reaps the oldest completions. The
 // serve experiment (E16) sweeps both itself and overrides the flags. The
 // per-command host submission cost lands in the host.submit.* metrics.
+//
+// The array experiment (E17) scales the testbed to a sharded fleet:
+// -shards Morpheus-SSD systems behind consistent-hash placement with
+// -replicas copies per object, serving an open-loop multi-tenant
+// -arrival process (poisson, bursty, or diurnal, with an optional mean
+// interarrival like "bursty:20us"). Left unset, E17 runs its default
+// shards × replication × mix grid, ending with a whole-shard-loss point
+// that proves degraded-mode replica re-fetches route to the shard
+// actually holding the copy.
 //
 // -mvm-engine selects the embedded-core execution engine: "compiled" (the
 // default closure-compiled engine with superinstruction fusion) or
@@ -215,6 +224,10 @@ type experiment struct {
 	run   func(exp.Options) ([]*exp.Table, error)
 }
 
+// arraySweep carries the -shards/-replicas/-arrival selections into the
+// array experiment; zero values run the E17 default grid.
+var arraySweep exp.ArraySweep
+
 func experiments() []experiment {
 	one := func(f func(exp.Options) (*exp.Table, error)) func(exp.Options) ([]*exp.Table, error) {
 		return func(o exp.Options) ([]*exp.Table, error) {
@@ -331,6 +344,13 @@ func experiments() []experiment {
 			}
 			return r.Table(), nil
 		})},
+		{"array", "sharded array serving sweep (E17, extension)", one(func(o exp.Options) (*exp.Table, error) {
+			r, err := exp.RunArray(o, arraySweep)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
 		{"ablation", "design-choice ablations (DESIGN.md §4)", func(o exp.Options) ([]*exp.Table, error) {
 			r, err := exp.RunAblation(o)
 			if err != nil {
@@ -357,6 +377,10 @@ func main() {
 		windowDepth = flag.Int("window-depth", 0, "bound on in-flight MREAD commands in every experiment (0 = 2x batch depth)")
 		mvmEngine   = flag.String("mvm-engine", "compiled", "embedded-core execution engine: compiled or interp (bit-identical results; compiled is faster in host wall-clock)")
 		simEngine   = flag.String("sim-engine", "wheel", "discrete-event scheduler: wheel (hierarchical time wheel, the default) or heap (reference binary heap); bit-identical results, wheel is faster in host wall-clock")
+
+		shards   = flag.Int("shards", 0, "array experiment: number of Morpheus-SSD shards in the fleet (0 = the E17 default grid)")
+		replicas = flag.Int("replicas", 0, "array experiment: distinct shards holding each object (0 = the E17 default grid)")
+		arrival  = flag.String("arrival", "", "array experiment: arrival process poisson|bursty|diurnal with optional mean interarrival, e.g. bursty:20us (empty = the E17 default grid)")
 
 		metricsWindow = flag.String("metrics-window", "", "windowed time-series bucket width as a Go duration (e.g. 100us); enables per-window counters, latency quantiles, and gauges")
 		timeseriesOut = flag.String("timeseries-out", "", "write the windowed time series to this file (.json, .csv, else OpenMetrics text); requires -metrics-window")
@@ -433,6 +457,13 @@ func main() {
 		os.Exit(2)
 	}
 	opts.SLOs = slos
+	if *arrival != "" {
+		if _, err := exp.ParseArrivalSpec(*arrival); err != nil {
+			fmt.Fprintf(os.Stderr, "morpheusbench: -arrival: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	arraySweep = exp.ArraySweep{Shards: *shards, Replicas: *replicas, Arrival: *arrival}
 	if *traceSample != "" && *traceOut == "" {
 		fmt.Fprintln(os.Stderr, "morpheusbench: -trace-sample requires -trace-out")
 		os.Exit(2)

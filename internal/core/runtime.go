@@ -468,15 +468,33 @@ func (s *System) invokeFallback(ready units.Time, opt InvokeOptions, cause error
 	if fb.NoReplica || !mediaLoss {
 		return nil, fmt.Errorf("core: host fallback (after %w) failed: %w", cause, derr)
 	}
-	data, ok := s.ReplicaData(opt.File.Name)
+	// Route the re-fetch. With a fetcher installed (array shards), the
+	// read happens on the remote system holding the replica, charging its
+	// queues and clock; the local system then pays the replica transport
+	// and the parse. The fetcher is authoritative — a miss must surface,
+	// not silently serve from the magic local copy. Without one, the
+	// single-system local copy keeps its exact historical timing (rt == t).
+	var (
+		data []byte
+		ok   bool
+		rt   = t
+	)
+	if s.replicaFetcher != nil {
+		data, rt, ok = s.replicaFetcher.FetchReplica(t, opt.File.Name)
+		if rt < t {
+			rt = t
+		}
+	} else {
+		data, ok = s.ReplicaData(opt.File.Name)
+	}
 	if !ok {
 		return nil, fmt.Errorf("core: host fallback failed (%w) and %q has no replica: %w", derr, opt.File.Name, ErrMediaFailure)
 	}
 	s.Metrics.AddAt(stats.ReplicaFallbacks, int64(t), 1)
 	rfSpan := s.tracer.NextSpan()
-	s.tracer.RecordSpan("host", "fallback", "path=replica", rfSpan, 0, t, t)
+	s.tracer.RecordSpan("host", "fallback", "path=replica", rfSpan, 0, t, rt)
 	s.tracer.Flag(rfSpan)
-	rres, rerr := s.DeserializeFromMedium(t, s.ReplicaMedium(), data, fb.Parser(), fb.Spec, fb.CoreIdx)
+	rres, rerr := s.DeserializeFromMedium(rt, s.ReplicaMedium(), data, fb.Parser(), fb.Spec, fb.CoreIdx)
 	if rerr != nil {
 		return nil, rerr
 	}

@@ -100,11 +100,15 @@ type System struct {
 	// and what its transfer/working-set limits are.
 	Identify *nvme.IdentifyController
 
-	files        map[string]*File
-	replicas     map[string][]byte
-	replica      *host.PipeMedium
-	nextPage     int64
-	nextInstance uint32
+	files    map[string]*File
+	replicas map[string][]byte
+	replica  *host.PipeMedium
+	// replicaFetcher, when set, routes degraded-mode replica re-fetches
+	// to the system actually holding the copy (see SetReplicaFetcher);
+	// nil keeps the single-system local-copy behavior.
+	replicaFetcher ReplicaFetcher
+	nextPage       int64
+	nextInstance   uint32
 
 	tracer *trace.Tracer
 }

@@ -132,17 +132,43 @@ func buildSystem(o Options, withGPU bool) (*core.System, error) {
 	return sys, nil
 }
 
+// TenantID returns the globally unique tenant name for an application
+// instance running on one shard of an array ("grep@s2"). A bare
+// application name remains the valid tenant of a single-system run.
+func TenantID(app string, shard int) string { return fmt.Sprintf("%s@s%d", app, shard) }
+
+// tenantBase strips the shard qualifier from a tenant name ("grep@s2" →
+// "grep"); unqualified names pass through.
+func tenantBase(tenant string) string {
+	if i := strings.IndexByte(tenant, '@'); i >= 0 {
+		return tenant[:i]
+	}
+	return tenant
+}
+
 // bindSLOs narrows the option set to the SLO configs that apply to one
 // named tenant: configs naming that tenant plus the wildcards ("", "*").
 // Experiments that run one application per system call this so a
 // tenant-scoped objective only counts its own tenant's commands.
+//
+// Tenants may be shard-qualified (TenantID): a config naming the bare
+// application binds to each shard-qualified instance separately, and its
+// Name is rewritten to the qualified tenant. The rewrite is what keeps
+// SLO keys unique across shards — without it, the same app running on
+// two shards would fold both instances' counts under one "app|metric"
+// key in the merged registry, colliding and double-counting the burn.
 func bindSLOs(o Options, tenant string) Options {
 	if len(o.SLOs) == 0 {
 		return o
 	}
+	base := tenantBase(tenant)
 	var kept []stats.SLOConfig
 	for _, c := range o.SLOs {
-		if c.Name == "" || c.Name == "*" || c.Name == tenant {
+		switch c.Name {
+		case "", "*", tenant:
+			kept = append(kept, c)
+		case base:
+			c.Name = tenant
 			kept = append(kept, c)
 		}
 	}

@@ -39,6 +39,9 @@ var parallelCases = []struct {
 	{"faults", true, 0, func(o Options) (tabler, error) { return RunFaults(o) }},
 	{"cachesweep", false, 0, func(o Options) (tabler, error) { return RunCachesweep(o) }},
 	{"serve", false, 0, func(o Options) (tabler, error) { return RunServe(o) }},
+	{"array", false, 0, func(o Options) (tabler, error) {
+		return RunArray(o, ArraySweep{Tenants: 64, Requests: 48, Objects: 8})
+	}},
 	{"fig8-hi", true, 1.0 / 1024, func(o Options) (tabler, error) { return RunFig8(o) }},
 }
 

@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"testing"
+
+	"morpheus/internal/array"
+	"morpheus/internal/stats"
+)
+
+// The SLO-binding regression (shard-qualified tenants): a config naming
+// a bare application must bind to each shard-qualified instance under a
+// unique name, so the same app on two shards never folds both instances'
+// violation counts under one "app|metric" key in the merged registry.
+
+func testSLOSet() []stats.SLOConfig {
+	return []stats.SLOConfig{
+		{Name: "", Metric: "nvme.MREAD.latency_ps", TargetPS: 1, Budget: 0.1},
+		{Name: "grep", Metric: "nvme.MREAD.latency_ps", TargetPS: 2, Budget: 0.1},
+		{Name: "wordcount", Metric: "nvme.MREAD.latency_ps", TargetPS: 3, Budget: 0.1},
+		{Name: "grep@s1", Metric: "nvme.MREAD.latency_ps", TargetPS: 4, Budget: 0.1},
+	}
+}
+
+func names(cs []stats.SLOConfig) []string {
+	var out []string
+	for _, c := range cs {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+func TestBindSLOsSingleSystem(t *testing.T) {
+	o := bindSLOs(Options{SLOs: testSLOSet()}, "grep")
+	got := names(o.SLOs)
+	want := []string{"", "grep"}
+	if len(got) != len(want) {
+		t.Fatalf("bound %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bound %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBindSLOsShardQualified(t *testing.T) {
+	// Binding the same config set to the same app on two shards must
+	// produce disjoint non-wildcard names — the collision the satellite
+	// fix removes.
+	s1 := bindSLOs(Options{SLOs: testSLOSet()}, TenantID("grep", 1))
+	s2 := bindSLOs(Options{SLOs: testSLOSet()}, TenantID("grep", 2))
+
+	// Shard 1: wildcard, bare "grep" rewritten, and the exact "grep@s1".
+	got := names(s1.SLOs)
+	want := []string{"", "grep@s1", "grep@s1"}
+	if len(got) != len(want) {
+		t.Fatalf("shard 1 bound %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shard 1 bound %v, want %v", got, want)
+		}
+	}
+	// Shard 2 keeps only the wildcard and the rewritten bare config; the
+	// "grep@s1" exact config must not leak across shards.
+	got = names(s2.SLOs)
+	want = []string{"", "grep@s2"}
+	if len(got) != len(want) {
+		t.Fatalf("shard 2 bound %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shard 2 bound %v, want %v", got, want)
+		}
+	}
+	// Cross-shard key disjointness for the non-wildcard configs.
+	for _, c1 := range s1.SLOs[1:] {
+		for _, c2 := range s2.SLOs[1:] {
+			if c1.Key() == c2.Key() {
+				t.Fatalf("shards 1 and 2 share SLO key %q", c1.Key())
+			}
+		}
+	}
+}
+
+func TestArrayShardSLOsUniqueAcrossShards(t *testing.T) {
+	classes := array.DefaultClasses()
+	user := []stats.SLOConfig{
+		{Name: "*", Metric: "nvme.MREAD.latency_ps", TargetPS: 1, Budget: 0.1},
+		{Name: "gold", TargetPS: 2, Budget: 0.2}, // overrides the built-in gold objective
+	}
+	seen := map[string]int{}
+	for shard := 0; shard < 3; shard++ {
+		cs := arrayShardSLOs(user, shard, classes)
+		// wildcard + one per class, with the user's gold override applied.
+		if len(cs) != 1+len(classes) {
+			t.Fatalf("shard %d: %d configs, want %d", shard, len(cs), 1+len(classes))
+		}
+		for _, c := range cs {
+			if c.Name == "*" || c.Name == "" {
+				continue
+			}
+			seen[c.Key()]++
+			if c.Name == TenantID("gold", shard) && c.TargetPS != 2 {
+				t.Errorf("shard %d: user gold override lost (target %d)", shard, c.TargetPS)
+			}
+			if c.Metric == "" {
+				t.Errorf("shard %d: config %q has no metric", shard, c.Name)
+			}
+		}
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("SLO key %q bound %d times across shards — collision", key, n)
+		}
+	}
+}

@@ -2,11 +2,44 @@ package exp
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"morpheus/internal/apps"
+	"morpheus/internal/array"
 	"morpheus/internal/stats"
 	"morpheus/internal/units"
 )
+
+// ArrivalSpec selects the open-loop arrival process offered to the array
+// serving experiment (§E17): a process shape plus an optional mean
+// interarrival override. The zero Mean keeps the experiment default.
+type ArrivalSpec struct {
+	Mix  array.Mix
+	Mean units.Duration
+}
+
+// ParseArrivalSpec parses -arrival values: a mix name with an optional
+// mean interarrival time, e.g. "poisson", "bursty", "diurnal:20us".
+func ParseArrivalSpec(s string) (ArrivalSpec, error) {
+	name, mean := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		name, mean = s[:i], s[i+1:]
+	}
+	mix, err := array.ParseMix(name)
+	if err != nil {
+		return ArrivalSpec{}, err
+	}
+	spec := ArrivalSpec{Mix: mix}
+	if mean != "" {
+		d, err := time.ParseDuration(mean)
+		if err != nil || d <= 0 {
+			return ArrivalSpec{}, fmt.Errorf("exp: bad arrival mean %q (want a positive Go duration)", mean)
+		}
+		spec.Mean = units.Duration(int64(d) * 1000)
+	}
+	return spec, nil
+}
 
 // TrafficRow is one application's interconnect traffic under both models
 // (the §VII-A text numbers: PCIe −22%, CPU-memory bus −58%).

@@ -263,8 +263,10 @@ func (g *Gauge) Mean() float64 {
 // range widens, and the time-weighted integrals concatenate so the merged
 // mean weights each gauge by its own sampled interval. The merged last
 // value is temporal, not call-ordered: it comes from whichever gauge
-// sampled later on the virtual clock (ties go to the merged-in gauge,
-// matching Sample's same-timestamp overwrite).
+// sampled later on the virtual clock. Samples from different sources at
+// the same instant have no temporal order at all, so ties resolve to the
+// larger value — a commutative rule, which is what keeps an N-way fold
+// (shards sharing one virtual clock) identical under any merge order.
 func (g *Gauge) Merge(o *Gauge) {
 	if o == nil {
 		return
@@ -291,7 +293,7 @@ func (g *Gauge) Merge(o *Gauge) {
 		if firstT < g.firstT {
 			g.firstT = firstT
 		}
-		if lastT >= g.lastT {
+		if lastT > g.lastT || (lastT == g.lastT && last > g.last) {
 			g.lastT = lastT
 			g.last = last
 		}

@@ -197,15 +197,20 @@ func TestGaugeMergeLastIsTemporal(t *testing.T) {
 	if b.Last() != 9 {
 		t.Fatalf("early.Merge(late).Last() = %g, want 9", b.Last())
 	}
-	// Equal timestamps: the merged-in gauge wins, matching Sample's
-	// same-timestamp overwrite.
-	c := &Gauge{}
-	c.Sample(100, 1)
-	d := &Gauge{}
-	d.Sample(100, 2)
-	c.Merge(d)
+	// Equal timestamps carry no temporal order between sources, so the
+	// tie must resolve the same way in either merge direction (the larger
+	// value) — N shards folding one virtual clock would otherwise leave
+	// the outcome to merge order.
+	mk := func(v float64) *Gauge { g := &Gauge{}; g.Sample(100, v); return g }
+	c := mk(1)
+	c.Merge(mk(2))
 	if c.Last() != 2 {
 		t.Fatalf("tie merge Last() = %g, want 2", c.Last())
+	}
+	d := mk(2)
+	d.Merge(mk(1))
+	if d.Last() != 2 {
+		t.Fatalf("reversed tie merge Last() = %g, want 2", d.Last())
 	}
 }
 
