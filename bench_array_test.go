@@ -1,0 +1,180 @@
+// The conservative-window executor smoke: drives one heavy E17-style
+// traffic point through an 8-shard fleet sequentially (one shard worker)
+// and again across every CPU, proves the two runs byte-identical —
+// traffic result and per-shard metrics both — and publishes the
+// wall-clock speedup and simulated-events-per-second throughput, as
+// benchmark metrics and, when MORPHEUS_BENCH_ARRAY_OUT names a file, as
+// a BENCH_array.json record for CI to archive:
+//
+//	MORPHEUS_BENCH_ARRAY_OUT=BENCH_array.json \
+//	  go test -bench ArrayTraffic -run '^$' .
+//
+// The speedup recorded is whatever the machine delivered: near 1.0x on a
+// single-core runner. The identity check (and the fold hash pinning it)
+// is what must always hold.
+package morpheus
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"morpheus/internal/apps"
+	"morpheus/internal/array"
+	"morpheus/internal/core"
+	"morpheus/internal/units"
+)
+
+// arrayBenchResult is the BENCH_array.json schema (documented in
+// EXPERIMENTS.md): one measurement of the conservative-window shard
+// executor against its own single-worker baseline.
+type arrayBenchResult struct {
+	Experiment    string  `json:"experiment"`     // "array-traffic"
+	Shards        int     `json:"shards"`         // fleet width
+	Requests      int     `json:"requests"`       // offered load
+	NumCPU        int     `json:"num_cpu"`        // runtime.NumCPU() on the machine
+	Slots         int     `json:"slots"`          // worker count of the parallel run
+	SequentialNS  int64   `json:"sequential_ns"`  // wall clock at 1 shard worker
+	ParallelNS    int64   `json:"parallel_ns"`    // wall clock at NumCPU shard workers
+	Speedup       float64 `json:"speedup"`        // sequential_ns / parallel_ns
+	Events        int64   `json:"events"`         // simulated events fired per run
+	SeqEventsPS   float64 `json:"seq_events_ps"`  // events/sec, sequential
+	ParEventsPS   float64 `json:"par_events_ps"`  // events/sec, parallel
+	ByteIdentical bool    `json:"byte_identical"` // fold matched exactly
+	FoldHash      string  `json:"fold_hash"`      // FNV-64a of result + metrics
+}
+
+const (
+	arrayBenchShards   = 8
+	arrayBenchReplicas = 2
+	arrayBenchObjects  = 32
+	arrayBenchTenants  = 512
+	arrayBenchRequests = 1024
+)
+
+// arrayBenchFleet stands up a fresh 8-shard fleet with the E17 testbed
+// shape (8 KiB MDTS so every request is a multi-command MREAD train).
+func arrayBenchFleet(b *testing.B) (*array.Array, *apps.App) {
+	b.Helper()
+	a, err := array.New(array.Config{Shards: arrayBenchShards, Replicas: arrayBenchReplicas},
+		func(int) (*core.System, error) {
+			cfg := core.DefaultSystemConfig()
+			cfg.WithGPU = false
+			cfg.SSD.MDTS = 8 * units.KiB
+			return core.NewSystem(cfg)
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := apps.ByName("grep")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < arrayBenchObjects; i++ {
+		data := app.Gen(64*units.KiB, 1, 1000+int64(i))
+		if err := a.StageObject(array.ObjectName(i), data[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	a.ResetTimers()
+	return a, app
+}
+
+// timedArrayRun builds a fleet, runs the windowed executor at the given
+// slot count, and returns a canonical emission of everything the
+// identity contract covers (traffic result + per-shard metrics JSON in
+// shard order), the simulated events fired, and the traffic wall-clock.
+func timedArrayRun(b *testing.B, slots int) ([]byte, int64, time.Duration) {
+	b.Helper()
+	a, app := arrayBenchFleet(b)
+	tc := array.TrafficConfig{
+		Tenants:  arrayBenchTenants,
+		Requests: arrayBenchRequests,
+		Objects:  arrayBenchObjects,
+		Mean:     20 * units.Microsecond,
+		Mix:      array.MixPoisson,
+		Seed:     20160618,
+		App:      app.StorageApp(),
+		Parser:   app.HostParser,
+		Spec:     app.Spec,
+	}
+	start := time.Now()
+	res, err := array.RunTrafficParallel(a, tc, slots)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%+v\n", *res)
+	var events int64
+	for _, sh := range a.Shards {
+		events += sh.Sys.Engine.Fired()
+		if err := sh.Sys.Metrics.WriteJSON(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return buf.Bytes(), events, elapsed
+}
+
+// BenchmarkArrayTraffic measures the conservative-window executor: one
+// heavy traffic point at 1 shard worker versus min(NumCPU, shards) must
+// fold byte-identically, and the speedup lands in the parallel-x metric
+// (and BENCH_array.json when requested).
+func BenchmarkArrayTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		seqFold, seqEvents, seqDur := timedArrayRun(b, 1)
+		slots := runtime.NumCPU()
+		if slots > arrayBenchShards {
+			slots = arrayBenchShards
+		}
+		// At least two workers, so the concurrent path is exercised (and
+		// the identity checked) even on a single-core machine.
+		if slots < 2 {
+			slots = 2
+		}
+		parFold, parEvents, parDur := timedArrayRun(b, slots)
+		if i > 0 {
+			continue
+		}
+		if !bytes.Equal(seqFold, parFold) {
+			b.Fatalf("fold diverged between 1 and %d shard workers (%d vs %d bytes)",
+				slots, len(seqFold), len(parFold))
+		}
+		if seqEvents != parEvents {
+			b.Fatalf("event counts diverged: %d vs %d", seqEvents, parEvents)
+		}
+		h := fnv.New64a()
+		h.Write(seqFold)
+		res := arrayBenchResult{
+			Experiment:    "array-traffic",
+			Shards:        arrayBenchShards,
+			Requests:      arrayBenchRequests,
+			NumCPU:        runtime.NumCPU(),
+			Slots:         slots,
+			SequentialNS:  seqDur.Nanoseconds(),
+			ParallelNS:    parDur.Nanoseconds(),
+			Speedup:       float64(seqDur) / float64(parDur),
+			Events:        seqEvents,
+			SeqEventsPS:   float64(seqEvents) / seqDur.Seconds(),
+			ParEventsPS:   float64(parEvents) / parDur.Seconds(),
+			ByteIdentical: true,
+			FoldHash:      fmt.Sprintf("%016x", h.Sum64()),
+		}
+		b.ReportMetric(res.Speedup, "parallel-x")
+		b.ReportMetric(res.ParEventsPS, "events/s")
+		if path := os.Getenv("MORPHEUS_BENCH_ARRAY_OUT"); path != "" {
+			data, err := json.MarshalIndent(res, "", " ")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -79,12 +79,29 @@
 // -trace-out — are byte-identical at every worker count: each point runs
 // on an isolated system with private observation sinks, and the harness
 // folds them back in point order (see internal/exp/parallel.go).
+//
+// -shard-parallel goes one level deeper: within one array (E17) point,
+// each shard's event engine runs on its own goroutine, advancing in
+// conservative time windows bounded by the replica-retry lookahead with
+// cross-shard re-fetches exchanged serially at window barriers (see
+// internal/array/parallel.go and DESIGN.md §7). Output stays
+// byte-identical at any positive setting and composes with -parallel:
+// both layers draw from one worker budget of max(-parallel, -shard-
+// parallel) goroutines. 0 (the default) keeps the sequential inline
+// serving loop.
+//
+// -cpuprofile and -memprofile write standard pprof profiles of the whole
+// run (`go tool pprof morpheusbench cpu.pprof`); the heap profile is
+// taken after a final GC so it reflects live memory, and both compose
+// with every experiment and flag.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -371,6 +388,9 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of every run to this file")
 		metricsOut  = flag.String("metrics-out", "", "write aggregated metrics to this file (.json for JSON, else Prometheus text)")
 		parallel    = flag.Int("parallel", 0, "workers for independent sweep points (0 = NumCPU, 1 = sequential); output is byte-identical at any setting")
+		shardPar    = flag.Int("shard-parallel", 0, "array experiment: run each point's shards on up to this many goroutines via the conservative-window executor (0 = sequential inline loop); output is byte-identical at any positive setting")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile (taken after a final GC) to this file")
 		ssdCache    = flag.Bool("ssd-cache", false, "enable the SSD-DRAM deserialized-object cache in every experiment (extension beyond the paper)")
 		ssdCacheMB  = flag.Int("ssd-cache-mb", 0, "object-cache capacity in MiB (implies -ssd-cache; 0 = the 64MiB default)")
 		batchDepth  = flag.Int("batch-depth", 0, "MREAD commands coalesced per doorbell ring in every experiment (1 = command-at-a-time; 0 = the config default)")
@@ -404,10 +424,39 @@ func main() {
 		}
 		return
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "morpheusbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "morpheusbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "morpheusbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "morpheusbench: memprofile: %v\n", err)
+			}
+		}()
+	}
 	opts := exp.DefaultOptions()
 	opts.Scale = *scale
 	opts.Seed = *seed
 	opts.Parallel = *parallel
+	opts.ShardParallel = *shardPar
 	eng, err := mvm.ParseEngine(*mvmEngine)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "morpheusbench: %v\n", err)

@@ -111,6 +111,19 @@ type TrafficResult struct {
 	FairnessShards  float64
 	// Horizon is the latest completion on the virtual clock.
 	Horizon units.Time
+	// Conservative-window protocol accounting, all zero on the inline
+	// path (RunTraffic): Windows is the number of non-empty lookahead
+	// windows the schedule spanned, Rounds the total barrier rounds
+	// (>= Windows; each re-fetch wave inside a window adds one),
+	// DeferredFetches the replica re-fetches served by exchange phases,
+	// and EarlyFetches how many of those surfaced in less than one
+	// lookahead (a non-retryable failure shortcut; delivery stays
+	// deterministic, the counter just records that the backoff-budget
+	// bound did not cover them).
+	Windows         int
+	Rounds          int
+	DeferredFetches int
+	EarlyFetches    int
 }
 
 // jain is Jain's fairness index over all of xs, zeros included
@@ -141,15 +154,8 @@ func jainPositive(xs []int) float64 {
 	return jain(live)
 }
 
-// RunTraffic drives one open-loop request stream against the fleet.
-// Requests are issued in arrival order; each is routed to its object's
-// primary shard, admission-checked against that shard's slot window, and
-// served through core.InvokeStorageApp at its own arrival time (the
-// shard's resource ledgers arbitrate overlap, exactly as the multi-file
-// app runner does). Every served output is differentially checked
-// against the first response for the same object, so a degraded path
-// silently corrupting bytes fails the run rather than skewing a row.
-func RunTraffic(a *Array, tc TrafficConfig) (*TrafficResult, error) {
+// checkTraffic validates a config and resolves the class set.
+func checkTraffic(tc *TrafficConfig) ([]Class, error) {
 	if tc.Tenants < 1 || tc.Requests < 0 || tc.Objects < 1 {
 		return nil, fmt.Errorf("array: traffic needs tenants/objects >= 1, got %d/%d", tc.Tenants, tc.Objects)
 	}
@@ -160,6 +166,11 @@ func RunTraffic(a *Array, tc TrafficConfig) (*TrafficResult, error) {
 	if classes == nil {
 		classes = DefaultClasses()
 	}
+	return classes, nil
+}
+
+// newTrafficResult returns a zeroed result shaped for the fleet.
+func newTrafficResult(a *Array, tc *TrafficConfig, classes []Class) *TrafficResult {
 	res := &TrafficResult{
 		ShardServed:   make([]int, len(a.Shards)),
 		ShardArrivals: make([]int, len(a.Shards)),
@@ -168,7 +179,29 @@ func RunTraffic(a *Array, tc TrafficConfig) (*TrafficResult, error) {
 	for _, c := range classes {
 		res.Classes = append(res.Classes, ClassStats{Name: c.Name, Budget: c.Budget})
 	}
+	return res
+}
 
+// schedReq is one precomputed arrival. The whole request stream —
+// arrival times, tenant picks, object names, primary routing — is a
+// pure function of the TrafficConfig and the fleet layout, independent
+// of how any request is served, so it can be materialized up front and
+// partitioned across shard workers without changing a single value.
+type schedReq struct {
+	seq     int
+	at      units.Time
+	tid     int
+	cidx    int
+	name    string
+	primary int
+}
+
+// buildSchedule materializes the request stream. It draws from exactly
+// the generators RunTraffic always used — same arrival process, same
+// independent tenant-pick stream, same Zipf shape — and pre-warms the
+// placement memo for every requested object as a side effect (Place
+// writes its memo map, which must not happen concurrently later).
+func buildSchedule(a *Array, tc *TrafficConfig, classes []Class) []schedReq {
 	gen := NewArrivalGen(tc.Mix, tc.Mean, tc.Seed)
 	// The tenant-pick stream is independent of the arrival stream so
 	// changing the mix never reshuffles who asked.
@@ -180,86 +213,132 @@ func RunTraffic(a *Array, tc TrafficConfig) (*TrafficResult, error) {
 	if tc.Tenants > 1 {
 		zipf = rand.NewZipf(picks, 1.2, 8, uint64(tc.Tenants-1))
 	}
-
-	inflight := make([][]units.Time, len(a.Shards))
-	refs := map[string][]byte{}
+	reqs := make([]schedReq, tc.Requests)
 	for r := 0; r < tc.Requests; r++ {
 		at := gen.Next()
 		tid := 0
 		if zipf != nil {
 			tid = int(zipf.Uint64())
 		}
-		cidx := classOf(tid, len(classes))
 		name := ObjectName(int(hash64(fmt.Sprintf("tenant%d", tid)) % uint64(tc.Objects)))
-		primary := a.Place(name)[0]
-		sh := a.Shards[primary]
-		m := sh.Sys.Metrics
+		reqs[r] = schedReq{
+			seq:     r,
+			at:      at,
+			tid:     tid,
+			cidx:    classOf(tid, len(classes)),
+			name:    name,
+			primary: a.Place(name)[0],
+		}
+	}
+	return reqs
+}
 
-		res.Arrivals++
-		res.ShardArrivals[primary]++
-		m.AddAt("array.arrivals", int64(at), 1)
+// serveOne issues one scheduled request against its primary shard:
+// admission control against the slot window, the full serving path via
+// core.InvokeStorageApp at the arrival time, the differential byte
+// check, and every per-request metric. Counts land in res and serving
+// state in inflight/refs — the sequential path passes fleet-wide
+// instances, the shard-parallel path per-shard partials; the operations
+// are identical either way, which is what keeps the two paths sharing
+// one definition of "serve a request".
+func serveOne(a *Array, tc *TrafficConfig, classes []Class, rq schedReq, res *TrafficResult, inflight *[]units.Time, refs map[string][]byte) error {
+	sh := a.Shards[rq.primary]
+	m := sh.Sys.Metrics
 
-		// Admission control: reap completed slots, then gate on the
-		// shard's StorageApp slot window.
-		limit := a.Cfg.SlotLimit
-		if limit <= 0 {
-			limit = sh.Sys.SSD.MaxInstances()
-		}
-		live := inflight[primary][:0]
-		for _, done := range inflight[primary] {
-			if done > at {
-				live = append(live, done)
-			}
-		}
-		inflight[primary] = live
-		if len(live) >= limit {
-			res.Rejected++
-			m.AddAt("array.rejected", int64(at), 1)
-			m.SampleAt("array.shard.slots_util", int64(at), 1)
-			continue
-		}
-		res.Admitted++
-		m.SampleAt("array.shard.slots_util", int64(at), float64(len(live)+1)/float64(limit))
+	res.Arrivals++
+	res.ShardArrivals[rq.primary]++
+	m.AddAt("array.arrivals", int64(rq.at), 1)
 
-		file, err := sh.Sys.OpenFile(name)
-		if err != nil {
-			return nil, fmt.Errorf("array: shard %d lost %q from its namespace: %w", primary, name, err)
+	// Admission control: reap completed slots, then gate on the
+	// shard's StorageApp slot window.
+	limit := a.Cfg.SlotLimit
+	if limit <= 0 {
+		limit = sh.Sys.SSD.MaxInstances()
+	}
+	live := (*inflight)[:0]
+	for _, done := range *inflight {
+		if done > rq.at {
+			live = append(live, done)
 		}
-		inv, err := sh.Sys.InvokeStorageApp(at, core.InvokeOptions{
-			App:  tc.App,
-			File: file,
-			Fallback: &core.Fallback{
-				Parser: tc.Parser,
-				Spec:   tc.Spec,
-			},
-		})
-		if err != nil {
-			// A fully unservable request (every replica gone); counted,
-			// not fatal — brownouts are an outcome, not a crash.
-			res.Errors++
-			m.AddAt("array.errors", int64(at), 1)
-			continue
+	}
+	*inflight = live
+	if len(live) >= limit {
+		res.Rejected++
+		m.AddAt("array.rejected", int64(rq.at), 1)
+		m.SampleAt("array.shard.slots_util", int64(rq.at), 1)
+		return nil
+	}
+	res.Admitted++
+	m.SampleAt("array.shard.slots_util", int64(rq.at), float64(len(live)+1)/float64(limit))
+
+	file, err := sh.Sys.OpenFile(rq.name)
+	if err != nil {
+		return fmt.Errorf("array: shard %d lost %q from its namespace: %w", rq.primary, rq.name, err)
+	}
+	inv, err := sh.Sys.InvokeStorageApp(rq.at, core.InvokeOptions{
+		App:  tc.App,
+		File: file,
+		Fallback: &core.Fallback{
+			Parser: tc.Parser,
+			Spec:   tc.Spec,
+		},
+	})
+	if err != nil {
+		// A fully unservable request (every replica gone); counted,
+		// not fatal — brownouts are an outcome, not a crash.
+		res.Errors++
+		m.AddAt("array.errors", int64(rq.at), 1)
+		return nil
+	}
+	if ref, seen := refs[rq.name]; !seen {
+		refs[rq.name] = inv.Out
+	} else if !bytes.Equal(ref, inv.Out) {
+		return fmt.Errorf("array: %q served different bytes via %s than its first response", rq.name, inv.Path)
+	}
+	*inflight = append(*inflight, inv.Done)
+	if inv.Done > res.Horizon {
+		res.Horizon = inv.Done
+	}
+	res.Path[inv.Path]++
+	res.ShardServed[rq.primary]++
+	res.TenantServed[rq.tid]++
+	res.Classes[rq.cidx].Served++
+	lat := int64(inv.Done.Sub(rq.at))
+	if lat > classes[rq.cidx].TargetPS {
+		res.Classes[rq.cidx].Violations++
+	}
+	m.AddAt("array.served."+inv.Path.String(), int64(inv.Done), 1)
+	m.ObserveLatency("array.request.latency_ps", int64(inv.Done), lat)
+	m.ObserveLatency("array.request.latency_ps."+classes[rq.cidx].Name, int64(inv.Done), lat)
+	return nil
+}
+
+// RunTraffic drives one open-loop request stream against the fleet.
+// Requests are issued in arrival order; each is routed to its object's
+// primary shard, admission-checked against that shard's slot window, and
+// served through core.InvokeStorageApp at its own arrival time (the
+// shard's resource ledgers arbitrate overlap, exactly as the multi-file
+// app runner does). Every served output is differentially checked
+// against the first response for the same object, so a degraded path
+// silently corrupting bytes fails the run rather than skewing a row.
+//
+// This is the inline-interleaved serving order: shards advance strictly
+// in global arrival order, and a degraded request's replica re-fetch
+// runs on the holder the moment it is needed. RunTrafficParallel serves
+// the same schedule under the conservative-window protocol instead.
+func RunTraffic(a *Array, tc TrafficConfig) (*TrafficResult, error) {
+	classes, err := checkTraffic(&tc)
+	if err != nil {
+		return nil, err
+	}
+	res := newTrafficResult(a, &tc, classes)
+	reqs := buildSchedule(a, &tc, classes)
+	inflight := make([][]units.Time, len(a.Shards))
+	refs := map[string][]byte{}
+	for _, rq := range reqs {
+		if err := serveOne(a, &tc, classes, rq, res, &inflight[rq.primary], refs); err != nil {
+			return nil, err
 		}
-		if ref, seen := refs[name]; !seen {
-			refs[name] = inv.Out
-		} else if !bytes.Equal(ref, inv.Out) {
-			return nil, fmt.Errorf("array: %q served different bytes via %s than its first response", name, inv.Path)
-		}
-		inflight[primary] = append(inflight[primary], inv.Done)
-		if inv.Done > res.Horizon {
-			res.Horizon = inv.Done
-		}
-		res.Path[inv.Path]++
-		res.ShardServed[primary]++
-		res.TenantServed[tid]++
-		res.Classes[cidx].Served++
-		lat := int64(inv.Done.Sub(at))
-		if lat > classes[cidx].TargetPS {
-			res.Classes[cidx].Violations++
-		}
-		m.AddAt("array.served."+inv.Path.String(), int64(inv.Done), 1)
-		m.ObserveLatency("array.request.latency_ps", int64(inv.Done), lat)
-		m.ObserveLatency("array.request.latency_ps."+classes[cidx].Name, int64(inv.Done), lat)
 	}
 	res.FairnessTenants = jainPositive(res.TenantServed)
 	res.FairnessShards = jain(res.ShardServed)

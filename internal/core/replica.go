@@ -24,6 +24,12 @@ type ReplicaFetcher interface {
 // degraded path consults before touching the local replica copy.
 func (s *System) SetReplicaFetcher(rf ReplicaFetcher) { s.replicaFetcher = rf }
 
+// ReplicaFetcher returns the installed router (nil if none). Executors
+// that interpose on the degraded path — the conservative-window shard
+// executor defers fetches to its exchange phase — save the original
+// through this and restore it when the run ends.
+func (s *System) ReplicaFetcher() ReplicaFetcher { return s.replicaFetcher }
+
 // ReadRaw streams a staged extent back to the host through conventional
 // READ commands — the device-side cost of serving a replica re-fetch for
 // a remote system. The commands run through this system's driver and

@@ -235,7 +235,7 @@ func arrayPointRun(po Options, pt arrayPoint, app *apps.App, tenants, requests, 
 	if mean <= 0 {
 		mean = arrayMeanGap
 	}
-	tr, err := array.RunTraffic(a, array.TrafficConfig{
+	tc := array.TrafficConfig{
 		Tenants:  tenants,
 		Requests: requests,
 		Objects:  objects,
@@ -246,7 +246,26 @@ func arrayPointRun(po Options, pt arrayPoint, app *apps.App, tenants, requests, 
 		Parser:   app.HostParser,
 		Spec:     app.Spec,
 		Classes:  classes,
-	})
+	}
+	var tr *array.TrafficResult
+	if po.ShardParallel > 0 {
+		// The point's own token (held by runPoints) funds one shard
+		// worker; extra slots are scavenged best-effort from the shared
+		// budget. Slot counts never change bytes, so starvation degrades
+		// wall-clock only.
+		want := po.ShardParallel
+		if want > pt.shards {
+			want = pt.shards
+		}
+		extras := 0
+		if po.budget != nil {
+			extras = po.budget.TryAcquire(want - 1)
+			defer po.budget.Release(extras)
+		}
+		tr, err = array.RunTrafficParallel(a, tc, 1+extras)
+	} else {
+		tr, err = array.RunTraffic(a, tc)
+	}
 	if err != nil {
 		return ArrayRow{}, err
 	}

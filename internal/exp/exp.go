@@ -62,6 +62,18 @@ type Options struct {
 	// one worker per CPU, 1 forces the sequential loop. Output (tables,
 	// Metrics, Trace) is byte-identical at every setting; see parallel.go.
 	Parallel int
+	// ShardParallel, when positive, runs each array point's shards through
+	// the conservative-window executor (array.RunTrafficParallel) with up
+	// to this many concurrent shard goroutines; 0 keeps the inline
+	// sequential serving loop. Points and shard goroutines draw from one
+	// shared worker budget sized max(workers, ShardParallel), so the two
+	// layers of parallelism never oversubscribe the machine together.
+	// Output is byte-identical at every positive setting; see
+	// internal/array/parallel.go for the determinism argument.
+	ShardParallel int
+	// budget is the experiment-wide worker semaphore runPoints lazily
+	// creates; tests inject one to pin the cap.
+	budget *sim.WorkerBudget
 	// MVMEngine selects the embedded-core execution engine (default: the
 	// closure-compiled engine). Both engines are bit-identical in every
 	// simulated result — tables, metrics, traces — so this only changes

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"morpheus/internal/sim"
 	"morpheus/internal/stats"
 )
 
@@ -40,6 +41,24 @@ func (o Options) workers() int {
 		return o.Parallel
 	}
 	return runtime.NumCPU()
+}
+
+// ensureBudget lazily creates the experiment-wide worker budget both
+// layers of parallelism draw from: every in-flight sweep point holds one
+// token, and an array point running shards concurrently scavenges extra
+// tokens for its shard goroutines (arrayPointRun). The cap is
+// max(point workers, ShardParallel): enough for the full point fan-out
+// OR one point's full shard fan-out, but never the product of the two.
+// Tests inject a pre-made budget to pin the cap.
+func (o *Options) ensureBudget() {
+	if o.budget != nil {
+		return
+	}
+	n := o.workers()
+	if o.ShardParallel > n {
+		n = o.ShardParallel
+	}
+	o.budget = sim.NewWorkerBudget(n)
 }
 
 // pointOptions derives the isolated option set one sweep point runs
@@ -85,6 +104,7 @@ func runPoints[T any](o Options, n int, run func(i int, po Options) (T, error)) 
 	if n <= 0 {
 		return nil, nil
 	}
+	o.ensureBudget()
 	w := o.workers()
 	if w > n {
 		w = n
@@ -93,7 +113,9 @@ func runPoints[T any](o Options, n int, run func(i int, po Options) (T, error)) 
 		out := make([]T, n)
 		for i := 0; i < n; i++ {
 			po := o.pointOptions()
+			o.budget.Acquire()
 			v, err := run(i, po)
+			o.budget.Release(1)
 			if err != nil {
 				return nil, err
 			}
@@ -118,7 +140,9 @@ func runPoints[T any](o Options, n int, run func(i int, po Options) (T, error)) 
 			defer wg.Done()
 			for i := range idx {
 				po := o.pointOptions()
+				o.budget.Acquire()
 				v, err := run(i, po)
+				o.budget.Release(1)
 				results <- pointResult{i: i, val: v, po: po, err: err}
 			}
 		}()

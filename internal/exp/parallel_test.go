@@ -42,6 +42,12 @@ var parallelCases = []struct {
 	{"array", false, 0, func(o Options) (tabler, error) {
 		return RunArray(o, ArraySweep{Tenants: 64, Requests: 48, Objects: 8})
 	}},
+	// The same sweep through the conservative-window shard executor: the
+	// point fan-out and the shard fan-out must compose byte-identically.
+	{"array-shardpar", false, 0, func(o Options) (tabler, error) {
+		o.ShardParallel = 4
+		return RunArray(o, ArraySweep{Tenants: 64, Requests: 48, Objects: 8})
+	}},
 	{"fig8-hi", true, 1.0 / 1024, func(o Options) (tabler, error) { return RunFig8(o) }},
 }
 

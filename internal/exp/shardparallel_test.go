@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"morpheus/internal/mvm"
+	"morpheus/internal/sim"
+)
+
+// shardParArray is the E17 slice the shard-parallel battery runs: a
+// single 8-shard point (healthy + loss) with enough traffic that the
+// loss point's degraded re-fetches cross several conservative windows.
+func shardParArray(o Options) (tabler, error) {
+	return RunArray(o, ArraySweep{
+		Shards: 8, Replicas: 2,
+		Tenants: 64, Requests: 48, Objects: 8,
+	})
+}
+
+// TestShardParallelMatches is the experiment-level arm of the
+// conservative-window contract: E17 run at -shard-parallel 1, 4, and 8
+// renders the same table, the same aggregate metrics JSON, and the same
+// adopted trace (span IDs included) — under the point fan-out too, so
+// the shared worker budget is exercised with both layers live.
+func TestShardParallelMatches(t *testing.T) {
+	o := testOptions()
+	o.Scale = 1.0 / 8192
+	o.MVMEngine = mvm.EngineCompiled
+
+	o.Parallel = 1
+	o.ShardParallel = 1
+	wantTable, wantJSON, wantEvents := observedRun(t, shardParArray, o)
+	for _, sp := range []int{4, 8} {
+		o.Parallel = 4
+		o.ShardParallel = sp
+		gotTable, gotJSON, gotEvents := observedRun(t, shardParArray, o)
+		if gotTable != wantTable {
+			t.Errorf("shard-parallel=%d table diverged:\n%s\nvs:\n%s", sp, wantTable, gotTable)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("shard-parallel=%d metrics JSON diverged", sp)
+		}
+		if !reflect.DeepEqual(gotEvents, wantEvents) {
+			t.Errorf("shard-parallel=%d trace diverged: %d vs %d events",
+				sp, len(wantEvents), len(gotEvents))
+		}
+	}
+
+	// The reference heap scheduler under the windowed executor.
+	o.Parallel = 1
+	o.ShardParallel = 4
+	o.SimEngine = sim.EngineHeap
+	heapTable, heapJSON, heapEvents := observedRun(t, shardParArray, o)
+	if heapTable != wantTable {
+		t.Errorf("heap scheduler table diverged:\n%s\nvs:\n%s", wantTable, heapTable)
+	}
+	if !bytes.Equal(heapJSON, wantJSON) {
+		t.Errorf("heap scheduler metrics JSON diverged")
+	}
+	if !reflect.DeepEqual(heapEvents, wantEvents) {
+		t.Errorf("heap scheduler trace diverged: %d vs %d events",
+			len(wantEvents), len(heapEvents))
+	}
+}
+
+// TestWorkerBudgetBoundsSweep is the oversubscription regression test:
+// with an injected 4-token budget, an 8-way point fan-out each asking
+// for 8-way shard parallelism must never hold more than 4 tokens at
+// once — points × shards stay inside the one global bound.
+func TestWorkerBudgetBoundsSweep(t *testing.T) {
+	o := testOptions()
+	o.Scale = 1.0 / 8192
+	o.Parallel = 8
+	o.ShardParallel = 8
+	o.budget = sim.NewWorkerBudget(4)
+	r, err := RunArray(o, ArraySweep{Tenants: 64, Requests: 48, Objects: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("sweep produced no rows")
+	}
+	if peak := o.budget.Peak(); peak == 0 || peak > 4 {
+		t.Fatalf("worker budget peak = %d, want 1..4", peak)
+	}
+}
